@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1Output(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "1", "-users", "200"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "Figure 1") || !strings.Contains(got, "hour\tonline") {
+		t.Errorf("Figure 1 output malformed:\n%s", got[:min(len(got), 300)])
+	}
+}
+
+func TestFigure2Output(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-fig", "2", "-n", "60", "-rounds", "15", "-reps", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"Figure 2 (gossip-learning", "Figure 2 (push-gossip", "Figure 2 (chaotic-iteration",
+		"proactive", "randomized(A=5,C=10)", "msgs/node/round",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Figure 2 output missing %q", want)
+		}
+	}
+}
+
+func TestFigure5Output(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-fig", "5", "-n", "60", "-rounds", "30", "-reps", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "mean-field prediction") {
+		t.Error("Figure 5 output missing prediction comparison")
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "9"}, &out); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,74 @@
+// Command sweep explores the (A, C) parameter space of a token account
+// strategy family for one application, as in §4.2 of the paper (A ∈
+// {1,2,5,10,15,20,40}, C−A ∈ {0,1,2,5,10,15,20,40,80}), and prints one
+// summary line per parameter combination.
+//
+//	sweep -app gossip-learning -kind randomized -n 1000 -rounds 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/szte-dcs/tokenaccount/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		appName      = fs.String("app", "gossip-learning", "application to sweep")
+		kindName     = fs.String("kind", "randomized", "strategy family: simple, generalized or randomized")
+		scenarioName = fs.String("scenario", "failure-free", "failure scenario")
+		n            = fs.Int("n", 500, "number of nodes")
+		rounds       = fs.Int("rounds", 200, "number of proactive periods")
+		reps         = fs.Int("reps", 1, "repetitions per setting")
+		seed         = fs.Uint64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	app, err := experiment.ParseApplication(*appName)
+	if err != nil {
+		return err
+	}
+	scenario, err := experiment.ParseScenario(*scenarioName)
+	if err != nil {
+		return err
+	}
+	kind := experiment.StrategyKind(*kindName)
+	grid := experiment.ParameterGrid(kind)
+	if len(grid) == 0 {
+		return fmt.Errorf("no parameter grid for strategy kind %q", *kindName)
+	}
+	// The proactive baseline anchors the comparison.
+	specs := append([]experiment.StrategySpec{experiment.Proactive()}, grid...)
+	fmt.Fprintf(w, "# %s on %s, %s, N=%d, %d rounds, %d repetition(s)\n",
+		kind, app, scenario, *n, *rounds, *reps)
+	fmt.Fprintln(w, "strategy\tmsgs_per_node_per_round\tsteady_state_metric\tfinal_metric")
+	for _, spec := range specs {
+		res, err := experiment.Run(experiment.Config{
+			App:         app,
+			Strategy:    spec,
+			Scenario:    scenario,
+			N:           *n,
+			Rounds:      *rounds,
+			Repetitions: *reps,
+			Seed:        *seed,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", spec.Label(), err)
+		}
+		fmt.Fprintf(w, "%s\t%.3f\t%g\t%g\n",
+			spec.Label(), res.MessagesPerNodePerRound, res.SteadyStateMetric, res.FinalMetric)
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSweepSimpleGrid(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-app", "push-gossip",
+		"-kind", "simple",
+		"-n", "50",
+		"-rounds", "10",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "strategy\tmsgs_per_node_per_round") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(got, "proactive\t") {
+		t.Error("missing proactive baseline row")
+	}
+	if !strings.Contains(got, "simple(C=") {
+		t.Error("missing simple strategy rows")
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	cases := [][]string{
+		{"-app", "bogus"},
+		{"-scenario", "bogus"},
+		{"-kind", "bogus"},
+		{"-badflag"},
+		{"-kind", "randomized", "-n", "1", "-rounds", "5"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

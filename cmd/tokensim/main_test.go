@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSummaryOnly(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-app", "gossip-learning",
+		"-strategy", "randomized:5:10",
+		"-n", "60",
+		"-rounds", "20",
+		"-summary",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "messages sent") || !strings.Contains(got, "steady-state metric") {
+		t.Errorf("summary output missing fields:\n%s", got)
+	}
+	if strings.Count(got, "\n") > 5 {
+		t.Errorf("summary-only output has too many lines:\n%s", got)
+	}
+}
+
+func TestRunSeriesOutput(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-app", "push-gossip",
+		"-strategy", "generalized:1:10",
+		"-n", "60",
+		"-rounds", "20",
+		"-tokens",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "time_s\tmetric\tavg_tokens") {
+		t.Errorf("series header missing:\n%s", got[:min(len(got), 400)])
+	}
+	if strings.Count(got, "\n") < 20 {
+		t.Errorf("expected ≈ 20 sample rows, got:\n%s", got)
+	}
+}
+
+func TestRunAuditedChaoticIteration(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-app", "chaotic-iteration",
+		"-strategy", "simple:10",
+		"-n", "50",
+		"-rounds", "20",
+		"-audit",
+		"-summary",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-app", "bogus"},
+		{"-strategy", "bogus"},
+		{"-scenario", "bogus"},
+		{"-app", "chaotic-iteration", "-scenario", "smartphone-trace", "-n", "50", "-rounds", "5"},
+		{"-n", "1"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Command tracegen generates a synthetic smartphone availability trace (the
+// substitute for the STUNner trace used by the paper) and either writes it as
+// CSV or prints the aggregate churn statistics of Figure 1.
+//
+// Examples:
+//
+//	tracegen -users 1191 -stats          # print Figure 1 statistics
+//	tracegen -users 5000 -out trace.csv  # write a trace for 5000 nodes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/szte-dcs/tokenaccount/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		users   = fs.Int("users", 1191, "number of users (segments) to generate")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		stats   = fs.Bool("stats", false, "print hourly Figure-1 statistics instead of the trace")
+		out     = fs.String("out", "", "write the trace CSV to this file (default: stdout)")
+		offline = fs.Float64("offline", 0.30, "fraction of permanently offline users")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := trace.DefaultSmartphoneConfig(*users, *seed)
+	cfg.PermanentlyOffline = *offline
+	tr, err := trace.Smartphone(cfg)
+	if err != nil {
+		return err
+	}
+	if *stats {
+		bins, err := tr.Stats(trace.Hour)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "hour\tonline\thas_been_online\tlogins\tlogouts")
+		for _, b := range bins {
+			fmt.Fprintf(stdout, "%.0f\t%.4f\t%.4f\t%.4f\t%.4f\n",
+				b.Time/trace.Hour, b.OnlineFrac, b.EverOnlineFrac, b.LoginFrac, b.LogoutFrac)
+		}
+		fmt.Fprintf(stdout, "# permanently offline fraction: %.4f\n", tr.PermanentlyOfflineFraction())
+		return nil
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return tr.WriteCSV(w)
+}

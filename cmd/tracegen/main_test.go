@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/szte-dcs/tokenaccount/internal/trace"
+)
+
+func TestStatsOutput(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-users", "300", "-stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.HasPrefix(got, "hour\tonline") {
+		t.Errorf("missing header:\n%s", got[:min(len(got), 200)])
+	}
+	if strings.Count(got, "\n") < 48 {
+		t.Errorf("expected 48 hourly rows, got %d lines", strings.Count(got, "\n"))
+	}
+	if !strings.Contains(got, "permanently offline fraction") {
+		t.Error("missing offline fraction summary")
+	}
+}
+
+func TestCSVToStdout(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-users", "50"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "node,start,end") {
+		t.Error("missing CSV header")
+	}
+}
+
+func TestCSVToFileRoundTrips(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	var out strings.Builder
+	if err := run([]string{"-users", "80", "-out", path, "-offline", "0.5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadCSV(f, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N() != 80 {
+		t.Errorf("trace has %d nodes", tr.N())
+	}
+	off := tr.PermanentlyOfflineFraction()
+	if off < 0.35 || off > 0.65 {
+		t.Errorf("offline fraction %v, want ≈ 0.5", off)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-users", "0"}, &out); err == nil {
+		t.Error("users=0 accepted")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-users", "10", "-out", "/nonexistent-dir/x.csv"}, &out); err == nil {
+		t.Error("unwritable output path accepted")
+	}
+}

@@ -1,0 +1,26 @@
+// Package tokenaccount is a Go implementation of the token account
+// algorithms of Danner and Jelasity ("Token Account Algorithms: The Best of
+// the Proactive and Reactive Worlds", ICDCS 2018): an application-layer
+// traffic shaping service for decentralized message passing applications that
+// combines the strict rate limiting of proactive (periodic) gossip with the
+// low latency of reactive (event-driven) gossip.
+//
+// The implementation lives in the internal packages:
+//
+//   - internal/core: the token account framework and the published strategy
+//     implementations (simple, generalized, randomized, plus the proactive
+//     and reactive extremes);
+//   - internal/protocol: the transport-agnostic protocol node (Algorithm 4);
+//   - internal/simnet and internal/experiment: the discrete-event simulation
+//     substrate and the reproduction of every figure of the paper's
+//     evaluation;
+//   - internal/live and internal/transport: a real-time runtime (goroutines,
+//     tickers, in-memory or TCP transports) that turns the framework into a
+//     deployable service;
+//   - internal/apps/...: the three demonstrator applications (gossip
+//     learning, push gossip, chaotic power iteration).
+//
+// The benchmarks in bench_test.go regenerate scaled-down versions of every
+// figure; the cmd/paperfigs command prints the full tables. See README.md,
+// DESIGN.md and EXPERIMENTS.md for the complete map.
+package tokenaccount

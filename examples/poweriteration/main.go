@@ -1,0 +1,52 @@
+// The poweriteration example runs the chaotic asynchronous power iteration of
+// Lubachevsky and Mitra over a Watts–Strogatz small-world overlay, as in the
+// paper's third application: every node owns one element of the eigenvector
+// approximation of the column-stochastic neighbourhood matrix and exchanges
+// weighted values with its neighbours under token account traffic shaping.
+//
+// The example prints the angle between the decentralized approximation and
+// the true dominant eigenvector over virtual time for three strategies.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/szte-dcs/tokenaccount/internal/experiment"
+	"github.com/szte-dcs/tokenaccount/internal/metrics"
+)
+
+func main() {
+	const (
+		n      = 300
+		rounds = 150
+	)
+	strategies := []experiment.StrategySpec{
+		experiment.Proactive(),
+		experiment.Generalized(10, 20),
+		experiment.Randomized(5, 10),
+	}
+	table := metrics.NewTable("time_s", "angle_rad")
+	fmt.Printf("chaotic power iteration on a Watts-Strogatz overlay (N=%d, k=4, beta=0.01)\n\n", n)
+	for _, spec := range strategies {
+		res, err := experiment.Run(experiment.Config{
+			App:         experiment.ChaoticIteration,
+			Strategy:    spec,
+			N:           n,
+			Rounds:      rounds,
+			Seed:        3,
+			Repetitions: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		table.AddColumn(spec.Label(), res.Metric)
+		fmt.Printf("%-26s final angle to dominant eigenvector: %.4f rad (budget %.2f msgs/node/round)\n",
+			spec.Label(), res.FinalMetric, res.MessagesPerNodePerRound)
+	}
+	fmt.Println("\nangle over virtual time (smaller is better):")
+	if err := table.WriteTSV(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

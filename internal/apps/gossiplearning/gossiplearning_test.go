@@ -1,0 +1,101 @@
+package gossiplearning
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWalkerUsefulness(t *testing.T) {
+	w := NewWalker()
+	if w.Age() != 0 {
+		t.Fatalf("initial age = %d", w.Age())
+	}
+	// Equal age is useful: the received model gets trained and adopted.
+	if !w.UpdateState(1, ModelMessage{Age: 0}) {
+		t.Error("equal-age model should be useful")
+	}
+	if w.Age() != 1 {
+		t.Errorf("age after update = %d, want 1", w.Age())
+	}
+	// Older (smaller age) received model is not useful and leaves state.
+	if w.UpdateState(2, ModelMessage{Age: 0}) {
+		t.Error("stale model should not be useful")
+	}
+	if w.Age() != 1 {
+		t.Errorf("age changed on stale model: %d", w.Age())
+	}
+	// Fresher model is adopted with age+1.
+	if !w.UpdateState(3, ModelMessage{Age: 10}) {
+		t.Error("fresher model should be useful")
+	}
+	if w.Age() != 11 {
+		t.Errorf("age = %d, want 11", w.Age())
+	}
+}
+
+func TestWalkerIgnoresForeignPayloads(t *testing.T) {
+	w := NewWalker()
+	if w.UpdateState(1, "not a model") {
+		t.Error("foreign payload reported useful")
+	}
+	if w.Age() != 0 {
+		t.Error("foreign payload changed state")
+	}
+}
+
+func TestWalkerCreateMessage(t *testing.T) {
+	w := NewWalker()
+	w.UpdateState(1, ModelMessage{Age: 4})
+	m, ok := w.CreateMessage().(ModelMessage)
+	if !ok || m.Age != 5 {
+		t.Errorf("CreateMessage = %#v, want age 5", m)
+	}
+	if w.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestProgressMetric(t *testing.T) {
+	apps := []*Walker{{age: 10}, {age: 20}, {age: 30}}
+	// n*(t) = t / transfer = 100/1 = 100; mean age 20 => 0.2.
+	if got := Progress(apps, 100, 1); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Progress = %v, want 0.2", got)
+	}
+	if Progress(apps, 0, 1) != 0 || Progress(nil, 10, 1) != 0 || Progress(apps, 10, 0) != 0 {
+		t.Error("degenerate Progress inputs should return 0")
+	}
+}
+
+func TestProgressOnline(t *testing.T) {
+	apps := []*Walker{{age: 10}, {age: 100}, {age: 30}}
+	online := func(i int) bool { return i != 1 }
+	// Only nodes 0 and 2 count: mean age 20, ideal 100 => 0.2.
+	if got := ProgressOnline(apps, online, 100, 1); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("ProgressOnline = %v, want 0.2", got)
+	}
+	if got := ProgressOnline(apps, func(int) bool { return false }, 100, 1); got != 0 {
+		t.Errorf("ProgressOnline with everyone offline = %v, want 0", got)
+	}
+	if got := ProgressOnline(apps, nil, 100, 1); math.Abs(got-float64(10+100+30)/3/100) > 1e-12 {
+		t.Errorf("ProgressOnline(nil) = %v", got)
+	}
+}
+
+func TestWalkerChainModelsIdealWalk(t *testing.T) {
+	// A chain of nodes passing the model hot-potato style: after k hops the
+	// age equals k, i.e. the walk visits exactly one node per hop.
+	const hops = 50
+	nodes := make([]*Walker, hops+1)
+	for i := range nodes {
+		nodes[i] = NewWalker()
+	}
+	for i := 0; i < hops; i++ {
+		msg := nodes[i].CreateMessage().(ModelMessage)
+		if !nodes[i+1].UpdateState(0, msg) {
+			t.Fatalf("hop %d was not useful", i)
+		}
+	}
+	if nodes[hops].Age() != hops {
+		t.Errorf("final age = %d, want %d", nodes[hops].Age(), hops)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOverspend is returned by Account.Spend when the requested amount exceeds
+// the balance and overspending is not allowed.
+var ErrOverspend = errors.New("core: token account overspend")
+
+// Account is a node-local token account: a (normally non-negative) integer
+// balance that is credited once per proactive period and debited when
+// reactive messages are sent.
+//
+// The zero value is an account with zero balance that forbids overspending,
+// which matches the experimental setup of the paper (accounts start empty).
+type Account struct {
+	balance        int
+	allowOverspend bool
+}
+
+// NewAccount returns an account holding initial tokens. If allowOverspend is
+// true the balance may go negative (needed only by the pure reactive
+// strategy).
+func NewAccount(initial int, allowOverspend bool) *Account {
+	return &Account{balance: initial, allowOverspend: allowOverspend}
+}
+
+// Balance returns the current number of tokens (negative only when
+// overspending is allowed).
+func (a *Account) Balance() int { return a.balance }
+
+// Deposit credits n ≥ 0 tokens.
+func (a *Account) Deposit(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("core: Deposit(%d): negative amount", n))
+	}
+	a.balance += n
+}
+
+// Spend debits n ≥ 0 tokens. If n exceeds the balance and overspending is
+// forbidden, no tokens are spent and ErrOverspend is returned.
+func (a *Account) Spend(n int) error {
+	if n < 0 {
+		panic(fmt.Sprintf("core: Spend(%d): negative amount", n))
+	}
+	if !a.allowOverspend && n > a.balance {
+		return fmt.Errorf("spend %d with balance %d: %w", n, a.balance, ErrOverspend)
+	}
+	a.balance -= n
+	return nil
+}
+
+// SpendUpTo debits min(n, balance) tokens (or n when overspending is
+// allowed) and returns the number actually spent. It never fails.
+func (a *Account) SpendUpTo(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("core: SpendUpTo(%d): negative amount", n))
+	}
+	if !a.allowOverspend && n > a.balance {
+		n = a.balance
+	}
+	if n < 0 {
+		n = 0
+	}
+	a.balance -= n
+	return n
+}
+
+// AllowsOverspend reports whether the balance may go negative.
+func (a *Account) AllowsOverspend() bool { return a.allowOverspend }

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccountZeroValue(t *testing.T) {
+	var a Account
+	if a.Balance() != 0 {
+		t.Errorf("zero-value balance = %d, want 0", a.Balance())
+	}
+	if a.AllowsOverspend() {
+		t.Error("zero-value account must forbid overspending")
+	}
+	if err := a.Spend(1); !errors.Is(err, ErrOverspend) {
+		t.Errorf("Spend(1) on empty account = %v, want ErrOverspend", err)
+	}
+	if a.Balance() != 0 {
+		t.Errorf("failed spend must not change balance; got %d", a.Balance())
+	}
+}
+
+func TestAccountDepositSpend(t *testing.T) {
+	a := NewAccount(3, false)
+	a.Deposit(2)
+	if a.Balance() != 5 {
+		t.Fatalf("balance = %d, want 5", a.Balance())
+	}
+	if err := a.Spend(4); err != nil {
+		t.Fatalf("Spend(4): %v", err)
+	}
+	if a.Balance() != 1 {
+		t.Fatalf("balance = %d, want 1", a.Balance())
+	}
+	if err := a.Spend(2); !errors.Is(err, ErrOverspend) {
+		t.Fatalf("Spend(2) with balance 1: err = %v, want ErrOverspend", err)
+	}
+	if a.Balance() != 1 {
+		t.Fatalf("balance after failed spend = %d, want 1", a.Balance())
+	}
+}
+
+func TestAccountOverspendAllowed(t *testing.T) {
+	a := NewAccount(0, true)
+	if err := a.Spend(3); err != nil {
+		t.Fatalf("Spend with overspend allowed: %v", err)
+	}
+	if a.Balance() != -3 {
+		t.Fatalf("balance = %d, want -3", a.Balance())
+	}
+}
+
+func TestAccountSpendUpTo(t *testing.T) {
+	a := NewAccount(2, false)
+	if got := a.SpendUpTo(5); got != 2 {
+		t.Errorf("SpendUpTo(5) = %d, want 2", got)
+	}
+	if a.Balance() != 0 {
+		t.Errorf("balance = %d, want 0", a.Balance())
+	}
+	if got := a.SpendUpTo(1); got != 0 {
+		t.Errorf("SpendUpTo(1) on empty = %d, want 0", got)
+	}
+
+	b := NewAccount(1, true)
+	if got := b.SpendUpTo(4); got != 4 {
+		t.Errorf("SpendUpTo(4) with overspend = %d, want 4", got)
+	}
+	if b.Balance() != -3 {
+		t.Errorf("balance = %d, want -3", b.Balance())
+	}
+}
+
+func TestAccountNegativeAmountsPanic(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	a := NewAccount(0, false)
+	assertPanics("Deposit(-1)", func() { a.Deposit(-1) })
+	assertPanics("Spend(-1)", func() { _ = a.Spend(-1) })
+	assertPanics("SpendUpTo(-1)", func() { a.SpendUpTo(-1) })
+}
+
+func TestQuickAccountNeverNegativeWithoutOverspend(t *testing.T) {
+	f := func(ops []int16) bool {
+		a := NewAccount(0, false)
+		for _, op := range ops {
+			amount := int(op)
+			if amount >= 0 {
+				a.Deposit(amount % 100)
+			} else {
+				a.SpendUpTo((-amount) % 100)
+			}
+			if a.Balance() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAccountConservation(t *testing.T) {
+	// Deposited minus successfully spent tokens equals the balance.
+	f := func(ops []int16) bool {
+		a := NewAccount(0, false)
+		deposited, spent := 0, 0
+		for _, op := range ops {
+			amount := int(op)
+			if amount >= 0 {
+				n := amount % 50
+				a.Deposit(n)
+				deposited += n
+			} else {
+				spent += a.SpendUpTo((-amount) % 50)
+			}
+		}
+		return a.Balance() == deposited-spent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,38 @@
+// Package core implements the token account framework introduced in
+// "Token Account Algorithms: The Best of the Proactive and Reactive Worlds"
+// (Danner and Jelasity, ICDCS 2018).
+//
+// A token account algorithm is an application-layer traffic shaping service.
+// Each node holds an account with a non-negative integer number of tokens.
+// Once every proactive period Δ the node either sends a proactive message or
+// banks one token; whenever it receives a message it may spend banked tokens
+// on reactive messages. The behaviour is captured by two functions:
+//
+//   - PROACTIVE(a): the probability of sending a proactive message as a
+//     function of the account balance a. Must be monotone non-decreasing.
+//   - REACTIVE(a, u): the (possibly fractional) number of messages to send in
+//     response to an incoming message with usefulness u. Must be monotone
+//     non-decreasing in a and in u, and must never exceed a.
+//
+// The package provides the Strategy interface together with the published
+// instantiations:
+//
+//   - PurelyProactive: PROACTIVE ≡ 1, REACTIVE ≡ 0 — the classical periodic
+//     gossip pattern (also obtained as Simple with C = 0).
+//   - Simple (simple token account, eqs. (1)–(2)): proactive only when the
+//     account is full, one reactive message per incoming message while tokens
+//     remain; the closest relative of the token bucket.
+//   - Generalized (generalized token account, eqs. (1) and (3)): reactive
+//     spending scales with the balance, halved for non-useful messages.
+//   - Randomized (randomized token account, eqs. (4)–(5)): linear proactive
+//     ramp between A−1 and C, fractional reactive spending a/A resolved by
+//     randomized rounding.
+//   - PureReactive: PROACTIVE ≡ 0, REACTIVE ≡ k with overspending allowed —
+//     flooding; included for completeness and as a speed upper bound.
+//
+// Capacity and rate limiting (§3.4 of the paper): for every bounded strategy
+// the capacity C is the smallest balance at which PROACTIVE returns 1. A node
+// can never accumulate more than C tokens, and therefore can never send more
+// than ceil(t/Δ) + C messages within any time window of length t. The
+// Envelope type checks this bound against observed send times.
+package core

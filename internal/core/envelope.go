@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Envelope verifies the rate-limiting guarantee of §3.4: a node using a
+// strategy with token capacity C and proactive period Δ can send at most
+// ceil(t/Δ) + C messages within any time window of length t.
+//
+// Record every send time (in the same time unit as Delta) and call Verify, or
+// use Check for an incremental worst-case window scan. Envelope is not safe
+// for concurrent use; wrap it in a mutex if needed.
+type Envelope struct {
+	// Delta is the proactive period Δ.
+	Delta float64
+	// Capacity is the token capacity C of the strategy.
+	Capacity int
+
+	sends []float64
+}
+
+// NewEnvelope returns an envelope checker for a strategy with the given
+// period and capacity. It panics if delta is not positive or the capacity is
+// negative (use it only with bounded strategies).
+func NewEnvelope(delta float64, capacity int) *Envelope {
+	if delta <= 0 {
+		panic(fmt.Sprintf("core: NewEnvelope: non-positive delta %v", delta))
+	}
+	if capacity < 0 {
+		panic(fmt.Sprintf("core: NewEnvelope: negative capacity %d", capacity))
+	}
+	return &Envelope{Delta: delta, Capacity: capacity}
+}
+
+// Record notes that a message was sent at time t.
+func (e *Envelope) Record(t float64) { e.sends = append(e.sends, t) }
+
+// Count returns the number of recorded sends.
+func (e *Envelope) Count() int { return len(e.sends) }
+
+// Bound returns the maximum number of messages permitted in a closed window
+// of length t: floor(t/Δ) + 1 + C. This is the closed-interval form of the
+// paper's ⌈t/Δ⌉ + C bound: a closed window of length t can contain at most
+// floor(t/Δ)+1 proactive-period boundaries (token grants), and at most C
+// banked tokens can be spent on top of those. For window lengths that are not
+// exact multiples of Δ the two forms coincide.
+func (e *Envelope) Bound(t float64) int {
+	if t < 0 {
+		t = 0
+	}
+	periods := int(t/e.Delta) + 1
+	return periods + e.Capacity
+}
+
+// Violation describes a window in which the rate-limit bound was exceeded.
+type Violation struct {
+	// Start and End delimit the offending window [Start, End].
+	Start, End float64
+	// Sent is the number of messages observed in the window.
+	Sent int
+	// Allowed is the bound ceil((End-Start)/Δ) + C.
+	Allowed int
+}
+
+// Error implements the error interface so a Violation can be returned
+// directly from test helpers.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("rate limit violated: %d messages in [%g, %g] (allowed %d)",
+		v.Sent, v.Start, v.End, v.Allowed)
+}
+
+// Verify scans every window delimited by two recorded send times and returns
+// the first violation of the ceil(t/Δ)+C bound, or nil if the trace is
+// compliant. The scan is O(n²) in the number of sends but is intended for
+// tests and audits, not the hot path.
+func (e *Envelope) Verify() *Violation {
+	sends := append([]float64(nil), e.sends...)
+	sort.Float64s(sends)
+	for i := range sends {
+		for j := i; j < len(sends); j++ {
+			window := sends[j] - sends[i]
+			sent := j - i + 1
+			if allowed := e.Bound(window); sent > allowed {
+				return &Violation{Start: sends[i], End: sends[j], Sent: sent, Allowed: allowed}
+			}
+		}
+	}
+	return nil
+}
+
+// MaxBurst returns the largest number of sends observed within any window of
+// the given length. It is useful for reporting burstiness statistics.
+func (e *Envelope) MaxBurst(window float64) int {
+	if window < 0 {
+		return 0
+	}
+	sends := append([]float64(nil), e.sends...)
+	sort.Float64s(sends)
+	best, lo := 0, 0
+	for hi := range sends {
+		for sends[hi]-sends[lo] > window {
+			lo++
+		}
+		if n := hi - lo + 1; n > best {
+			best = n
+		}
+	}
+	return best
+}

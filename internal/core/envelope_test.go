@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEnvelopeBound(t *testing.T) {
+	e := NewEnvelope(10, 3)
+	tests := []struct {
+		window float64
+		want   int
+	}{
+		{0, 4},    // floor(0)+1+3
+		{5, 4},    // floor(0.5)+1+3
+		{10, 5},   // floor(1)+1+3
+		{10.1, 5}, // floor(1.01)+1+3
+		{25, 6},   // floor(2.5)+1+3
+		{-1, 4},
+	}
+	for _, tc := range tests {
+		if got := e.Bound(tc.window); got != tc.want {
+			t.Errorf("Bound(%v) = %d, want %d", tc.window, got, tc.want)
+		}
+	}
+}
+
+func TestEnvelopeVerifyCompliant(t *testing.T) {
+	// One message per period plus an initial burst of C: compliant.
+	e := NewEnvelope(1.0, 2)
+	e.Record(0)
+	e.Record(0)
+	for i := 1; i <= 20; i++ {
+		e.Record(float64(i))
+	}
+	if v := e.Verify(); v != nil {
+		t.Errorf("Verify() = %v, want nil", v)
+	}
+	if e.Count() != 22 {
+		t.Errorf("Count() = %d, want 22", e.Count())
+	}
+}
+
+func TestEnvelopeVerifyViolation(t *testing.T) {
+	e := NewEnvelope(1.0, 1)
+	// Four messages within a tiny window: bound is ceil(t)+1 = 2.
+	for _, ts := range []float64{5.0, 5.01, 5.02, 5.03} {
+		e.Record(ts)
+	}
+	v := e.Verify()
+	if v == nil {
+		t.Fatal("Verify() = nil, want violation")
+	}
+	if v.Sent <= v.Allowed {
+		t.Errorf("violation has Sent=%d Allowed=%d", v.Sent, v.Allowed)
+	}
+	if v.Error() == "" {
+		t.Error("violation Error() is empty")
+	}
+}
+
+func TestEnvelopeMaxBurst(t *testing.T) {
+	e := NewEnvelope(1.0, 5)
+	for _, ts := range []float64{0, 0.1, 0.2, 3, 3.05, 10} {
+		e.Record(ts)
+	}
+	if got := e.MaxBurst(0.5); got != 3 {
+		t.Errorf("MaxBurst(0.5) = %d, want 3", got)
+	}
+	if got := e.MaxBurst(20); got != 6 {
+		t.Errorf("MaxBurst(20) = %d, want 6", got)
+	}
+	if got := e.MaxBurst(-1); got != 0 {
+		t.Errorf("MaxBurst(-1) = %d, want 0", got)
+	}
+}
+
+func TestEnvelopeConstructorPanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("zero delta", func() { NewEnvelope(0, 1) })
+	assertPanics("negative capacity", func() { NewEnvelope(1, -1) })
+}
+
+// TestEnvelopeTokenAccountSimulation simulates a single node driven by a
+// bounded strategy and verifies the §3.4 bound holds for the generated send
+// times. This is the rate-limiting property test at the level of the
+// strategy + account pair, independent of the full protocol stack.
+func TestEnvelopeTokenAccountSimulation(t *testing.T) {
+	strategies := []Strategy{
+		MustSimple(10),
+		MustGeneralized(5, 10),
+		MustGeneralized(1, 20),
+		MustRandomized(5, 10),
+		MustRandomized(1, 40),
+	}
+	const delta = 1.0
+	for _, s := range strategies {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1234))
+			acct := NewAccount(0, false)
+			env := NewEnvelope(delta, s.Capacity())
+			now := 0.0
+			for round := 0; round < 500; round++ {
+				now = float64(round) * delta
+				// Proactive step of Algorithm 4.
+				if Bernoulli(s.Proactive(acct.Balance()), rng) {
+					env.Record(now)
+				} else {
+					acct.Deposit(1)
+				}
+				// A random number of incoming messages this round, each
+				// triggering the reactive step.
+				for k := rng.Intn(4); k > 0; k-- {
+					at := now + rng.Float64()*delta
+					useful := rng.Intn(2) == 0
+					x := RandRound(s.Reactive(acct.Balance(), useful), rng)
+					x = acct.SpendUpTo(x)
+					for i := 0; i < x; i++ {
+						env.Record(at)
+					}
+				}
+				if acct.Balance() > s.Capacity() {
+					t.Fatalf("balance %d exceeds capacity %d", acct.Balance(), s.Capacity())
+				}
+			}
+			if v := env.Verify(); v != nil {
+				t.Errorf("rate limit violated: %v", v)
+			}
+		})
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fixedRand is a Rand returning a fixed sequence of values, for deterministic
+// unit tests.
+type fixedRand struct {
+	values []float64
+	i      int
+}
+
+func (f *fixedRand) Float64() float64 {
+	v := f.values[f.i%len(f.values)]
+	f.i++
+	return v
+}
+
+func TestRandRoundIntegerInputs(t *testing.T) {
+	rng := &fixedRand{values: []float64{0.99}}
+	for _, v := range []float64{0, 1, 2, 7} {
+		if got := RandRound(v, rng); got != int(v) {
+			t.Errorf("RandRound(%v) = %d, want %d", v, got, int(v))
+		}
+	}
+}
+
+func TestRandRoundNegativeAndNaN(t *testing.T) {
+	rng := &fixedRand{values: []float64{0.0}}
+	if got := RandRound(-3.2, rng); got != 0 {
+		t.Errorf("RandRound(-3.2) = %d, want 0", got)
+	}
+	if got := RandRound(math.NaN(), rng); got != 0 {
+		t.Errorf("RandRound(NaN) = %d, want 0", got)
+	}
+}
+
+func TestRandRoundFractionalThreshold(t *testing.T) {
+	// With fraction 0.6: a draw below 0.6 rounds up, a draw above rounds down.
+	up := &fixedRand{values: []float64{0.59}}
+	if got := RandRound(2.6, up); got != 3 {
+		t.Errorf("RandRound(2.6) with draw 0.59 = %d, want 3", got)
+	}
+	down := &fixedRand{values: []float64{0.61}}
+	if got := RandRound(2.6, down); got != 2 {
+		t.Errorf("RandRound(2.6) with draw 0.61 = %d, want 2", got)
+	}
+}
+
+func TestRandRoundExpectation(t *testing.T) {
+	// The expected value of the randomized rounding must equal the input.
+	rng := rand.New(rand.NewSource(42))
+	const n = 200000
+	for _, v := range []float64{0.25, 1.5, 3.9} {
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += RandRound(v, rng)
+		}
+		mean := float64(sum) / n
+		if math.Abs(mean-v) > 0.02 {
+			t.Errorf("mean of RandRound(%v) = %v, want ≈ %v", v, mean, v)
+		}
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	rng := &fixedRand{values: []float64{0.5}}
+	if Bernoulli(0, rng) {
+		t.Error("Bernoulli(0) = true")
+	}
+	if !Bernoulli(1, rng) {
+		t.Error("Bernoulli(1) = false")
+	}
+	if Bernoulli(math.NaN(), rng) {
+		t.Error("Bernoulli(NaN) = true")
+	}
+	if !Bernoulli(0.6, &fixedRand{values: []float64{0.59}}) {
+		t.Error("Bernoulli(0.6) with draw 0.59 = false, want true")
+	}
+	if Bernoulli(0.6, &fixedRand{values: []float64{0.61}}) {
+		t.Error("Bernoulli(0.6) with draw 0.61 = true, want false")
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if Bernoulli(0.3, rng) {
+			hits++
+		}
+	}
+	freq := float64(hits) / n
+	if math.Abs(freq-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) frequency = %v, want ≈ 0.3", freq)
+	}
+}

@@ -1,0 +1,476 @@
+// Package experiment assembles complete, reproducible experiments matching
+// the evaluation section of the paper (§4): an application (gossip learning,
+// push gossip or chaotic power iteration), a token account strategy, an
+// overlay, a failure scenario (failure-free or smartphone trace), the paper's
+// timing parameters, repeated runs and metric time series.
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/szte-dcs/tokenaccount/internal/apps/gossiplearning"
+	"github.com/szte-dcs/tokenaccount/internal/apps/poweriter"
+	"github.com/szte-dcs/tokenaccount/internal/apps/pushgossip"
+	"github.com/szte-dcs/tokenaccount/internal/core"
+	"github.com/szte-dcs/tokenaccount/internal/metrics"
+	"github.com/szte-dcs/tokenaccount/internal/overlay"
+	"github.com/szte-dcs/tokenaccount/internal/protocol"
+	"github.com/szte-dcs/tokenaccount/internal/rng"
+	"github.com/szte-dcs/tokenaccount/internal/simnet"
+	"github.com/szte-dcs/tokenaccount/internal/trace"
+)
+
+// Application selects one of the paper's three demonstrator applications.
+type Application int
+
+// The demonstrator applications of §2.
+const (
+	GossipLearning Application = iota + 1
+	PushGossip
+	ChaoticIteration
+)
+
+// String returns the application name.
+func (a Application) String() string {
+	switch a {
+	case GossipLearning:
+		return "gossip-learning"
+	case PushGossip:
+		return "push-gossip"
+	case ChaoticIteration:
+		return "chaotic-iteration"
+	default:
+		return fmt.Sprintf("application(%d)", int(a))
+	}
+}
+
+// ParseApplication converts a name produced by String back to an Application.
+func ParseApplication(s string) (Application, error) {
+	switch s {
+	case "gossip-learning", "learning", "gl":
+		return GossipLearning, nil
+	case "push-gossip", "broadcast", "pg":
+		return PushGossip, nil
+	case "chaotic-iteration", "poweriter", "ci":
+		return ChaoticIteration, nil
+	default:
+		return 0, fmt.Errorf("experiment: unknown application %q", s)
+	}
+}
+
+// Scenario selects the failure model of §4.1.
+type Scenario int
+
+// The two failure scenarios of the evaluation.
+const (
+	// FailureFree keeps every node online for the whole run.
+	FailureFree Scenario = iota + 1
+	// SmartphoneTrace drives availability from a (synthetic) smartphone
+	// churn trace with a diurnal pattern.
+	SmartphoneTrace
+)
+
+// String returns the scenario name.
+func (s Scenario) String() string {
+	switch s {
+	case FailureFree:
+		return "failure-free"
+	case SmartphoneTrace:
+		return "smartphone-trace"
+	default:
+		return fmt.Sprintf("scenario(%d)", int(s))
+	}
+}
+
+// ParseScenario converts a name produced by String back to a Scenario.
+func ParseScenario(s string) (Scenario, error) {
+	switch s {
+	case "failure-free", "ff":
+		return FailureFree, nil
+	case "smartphone-trace", "trace", "churn":
+		return SmartphoneTrace, nil
+	default:
+		return 0, fmt.Errorf("experiment: unknown scenario %q", s)
+	}
+}
+
+// Paper-default timing parameters (§4.1): a virtual two-day period divided
+// into 1000 proactive rounds, a transfer time of one hundredth of a round,
+// and one update injection every tenth of a round for push gossip.
+const (
+	DefaultDelta             = 172.80
+	DefaultTransferDelay     = 1.728
+	DefaultRounds            = 1000
+	DefaultInjectionInterval = 17.28
+	DefaultSmoothWindow      = 15 * 60 // 15-minute smoothing of push gossip curves
+	DefaultOverlayK          = 20
+	DefaultWSNeighbors       = 4
+	DefaultWSBeta            = 0.01
+)
+
+// Config fully describes an experiment.
+type Config struct {
+	// App is the demonstrator application.
+	App Application
+	// Strategy is the token account strategy specification.
+	Strategy StrategySpec
+	// N is the network size (5000 or 500,000 in the paper).
+	N int
+	// Rounds is the number of proactive periods simulated (1000 in the
+	// paper).
+	Rounds int
+	// Delta is the proactive period in seconds.
+	Delta float64
+	// TransferDelay is the message transfer time in seconds.
+	TransferDelay float64
+	// Scenario selects failure-free operation or the smartphone trace.
+	Scenario Scenario
+	// Seed drives all randomness; repetition r uses Seed+r.
+	Seed uint64
+	// Repetitions is the number of independent runs to average (the paper
+	// uses 10).
+	Repetitions int
+	// SampleEvery is the metric sampling interval in seconds; 0 means once
+	// per Δ.
+	SampleEvery float64
+	// InjectionInterval is the push gossip update injection period.
+	InjectionInterval float64
+	// SmoothWindow is the smoothing window applied to the push gossip metric.
+	SmoothWindow float64
+	// OverlayK is the out-degree of the random overlay (gossip learning and
+	// push gossip).
+	OverlayK int
+	// WSNeighbors and WSBeta parameterize the Watts–Strogatz overlay of the
+	// chaotic iteration experiment.
+	WSNeighbors int
+	WSBeta      float64
+	// TrackTokens additionally records the average account balance over time
+	// (used by Figure 5).
+	TrackTokens bool
+	// AuditRateLimit records and verifies the §3.4 envelope on a small sample
+	// of nodes and fails the run on a violation.
+	AuditRateLimit bool
+	// DropProbability injects independent message loss (0 in the paper's
+	// experiments, which assume reliable transfer). It exercises the
+	// fault-tolerance role of the proactive component.
+	DropProbability float64
+}
+
+// WithDefaults returns a copy of the config with unset fields replaced by the
+// paper's defaults.
+func (c Config) WithDefaults() Config {
+	if c.Rounds == 0 {
+		c.Rounds = DefaultRounds
+	}
+	if c.Delta == 0 {
+		c.Delta = DefaultDelta
+	}
+	if c.TransferDelay == 0 {
+		c.TransferDelay = DefaultTransferDelay
+	}
+	if c.Scenario == 0 {
+		c.Scenario = FailureFree
+	}
+	if c.Repetitions == 0 {
+		c.Repetitions = 1
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = c.Delta
+	}
+	if c.InjectionInterval == 0 {
+		c.InjectionInterval = DefaultInjectionInterval
+	}
+	if c.SmoothWindow == 0 {
+		c.SmoothWindow = DefaultSmoothWindow
+	}
+	if c.OverlayK == 0 {
+		c.OverlayK = DefaultOverlayK
+	}
+	if c.WSNeighbors == 0 {
+		c.WSNeighbors = DefaultWSNeighbors
+	}
+	if c.WSBeta == 0 {
+		c.WSBeta = DefaultWSBeta
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.App < GossipLearning || c.App > ChaoticIteration:
+		return fmt.Errorf("experiment: unknown application %d", c.App)
+	case c.N < 2:
+		return fmt.Errorf("experiment: N = %d, need ≥ 2", c.N)
+	case c.Rounds < 1:
+		return fmt.Errorf("experiment: Rounds = %d, need ≥ 1", c.Rounds)
+	case c.Repetitions < 1:
+		return fmt.Errorf("experiment: Repetitions = %d, need ≥ 1", c.Repetitions)
+	}
+	if c.App == ChaoticIteration && c.Scenario == SmartphoneTrace {
+		return fmt.Errorf("experiment: the chaotic iteration metric is undefined under churn (§4.2)")
+	}
+	if _, err := c.Strategy.Build(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Duration returns the simulated virtual time of the experiment.
+func (c Config) Duration() float64 { return float64(c.Rounds) * c.Delta }
+
+// Label returns a short identifier combining application, strategy and
+// scenario, suitable for figure legends.
+func (c Config) Label() string {
+	return fmt.Sprintf("%s/%s/%s/N=%d", c.App, c.Strategy.Label(), c.Scenario, c.N)
+}
+
+// Result is the outcome of an experiment, averaged over the repetitions.
+type Result struct {
+	// Config echoes the (defaulted) configuration of the run.
+	Config Config
+	// Metric is the application performance metric over virtual time:
+	// eq. (6) for gossip learning, eq. (7) (smoothed) for push gossip, and
+	// the eigenvector angle for chaotic iteration.
+	Metric *metrics.Series
+	// Tokens is the average account balance over time (nil unless
+	// TrackTokens was set).
+	Tokens *metrics.Series
+	// MessagesSent is the mean number of messages sent per run.
+	MessagesSent float64
+	// MessagesPerNodePerRound normalizes MessagesSent by N·Rounds, i.e. the
+	// realized communication budget relative to the proactive baseline's 1.
+	MessagesPerNodePerRound float64
+	// FinalMetric is the last sample of Metric.
+	FinalMetric float64
+	// SteadyStateMetric is the mean of Metric over the second half of the
+	// run.
+	SteadyStateMetric float64
+}
+
+// Run executes the experiment: Repetitions independent runs whose metric
+// series are averaged pointwise (as in the paper, which averages 10 runs).
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var (
+		metricRuns []*metrics.Series
+		tokenRuns  []*metrics.Series
+		totalSent  float64
+	)
+	for r := 0; r < cfg.Repetitions; r++ {
+		one, err := runOnce(cfg, cfg.Seed+uint64(r))
+		if err != nil {
+			return nil, fmt.Errorf("experiment: repetition %d: %w", r, err)
+		}
+		metricRuns = append(metricRuns, one.metric)
+		if one.tokens != nil {
+			tokenRuns = append(tokenRuns, one.tokens)
+		}
+		totalSent += float64(one.sent)
+	}
+	avg, err := metrics.Average(metricRuns)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: averaging runs: %w", err)
+	}
+	if cfg.App == PushGossip && cfg.SmoothWindow > 0 {
+		avg = avg.Smooth(cfg.SmoothWindow)
+	}
+	res := &Result{
+		Config:       cfg,
+		Metric:       avg,
+		MessagesSent: totalSent / float64(cfg.Repetitions),
+	}
+	res.MessagesPerNodePerRound = res.MessagesSent / float64(cfg.N) / float64(cfg.Rounds)
+	_, res.FinalMetric = avg.Last()
+	res.SteadyStateMetric = avg.MeanAfter(cfg.Duration() / 2)
+	if len(tokenRuns) > 0 {
+		res.Tokens, err = metrics.Average(tokenRuns)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: averaging token series: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// singleRun holds the raw output of one repetition.
+type singleRun struct {
+	metric *metrics.Series
+	tokens *metrics.Series
+	sent   int64
+}
+
+func runOnce(cfg Config, seed uint64) (*singleRun, error) {
+	strategy, err := cfg.Strategy.Build()
+	if err != nil {
+		return nil, err
+	}
+	graph, err := buildOverlay(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	availability, err := buildTrace(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		walkers   []*gossiplearning.Walker
+		states    []*pushgossip.State
+		iterStats []*poweriter.State
+		reference []float64
+	)
+	newApp := func(i int) protocol.Application { return nil }
+	switch cfg.App {
+	case GossipLearning:
+		walkers = make([]*gossiplearning.Walker, cfg.N)
+		newApp = func(i int) protocol.Application {
+			walkers[i] = gossiplearning.NewWalker()
+			return walkers[i]
+		}
+	case PushGossip:
+		states = make([]*pushgossip.State, cfg.N)
+		newApp = func(i int) protocol.Application {
+			states[i] = pushgossip.New()
+			return states[i]
+		}
+	case ChaoticIteration:
+		iterStats = make([]*poweriter.State, cfg.N)
+		reference, err = poweriter.Reference(graph, 2_000_000, 1e-10)
+		if err != nil {
+			return nil, err
+		}
+		newApp = func(i int) protocol.Application {
+			st, newErr := poweriter.New(graph, i)
+			if newErr != nil {
+				panic(newErr) // graph and index are validated above
+			}
+			iterStats[i] = st
+			return st
+		}
+	}
+
+	simCfg := simnet.Config{
+		Graph:           graph,
+		Strategy:        func(int) core.Strategy { return strategy },
+		NewApp:          newApp,
+		Delta:           cfg.Delta,
+		TransferDelay:   cfg.TransferDelay,
+		Trace:           availability,
+		Seed:            seed,
+		DropProbability: cfg.DropProbability,
+	}
+	if cfg.AuditRateLimit {
+		audit := cfg.N / 100
+		if audit < 5 {
+			audit = 5
+		}
+		if audit > 50 {
+			audit = 50
+		}
+		for i := 0; i < audit && i < cfg.N; i++ {
+			simCfg.AuditNodes = append(simCfg.AuditNodes, i)
+		}
+	}
+
+	// Push gossip: rejoining nodes issue one pull request to a random online
+	// neighbour; if that neighbour has a token it answers with its freshest
+	// update, burning the token (§4.1.2).
+	var latest int64 = -1
+	if cfg.App == PushGossip && cfg.Scenario == SmartphoneTrace {
+		simCfg.OnRejoin = func(net *simnet.Network, node int) {
+			responder, ok := net.RandomOnlineNeighbor(node)
+			if !ok {
+				return
+			}
+			// The pull request itself travels one transfer delay; the answer
+			// (if any) travels another via RespondDirect -> Send.
+			net.Engine().Schedule(cfg.TransferDelay, func() {
+				if !net.Online(responder) || !net.Online(node) {
+					return
+				}
+				net.Node(responder).RespondDirect(protocol.NodeID(node))
+			})
+		}
+	}
+
+	net, err := simnet.New(simCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Push gossip update injection: one new update every InjectionInterval at
+	// a random online node.
+	if cfg.App == PushGossip {
+		net.Engine().Every(cfg.InjectionInterval, cfg.InjectionInterval, func() bool {
+			node, ok := net.RandomOnlineNode()
+			if !ok {
+				return true
+			}
+			latest++
+			states[node].Inject(latest)
+			return true
+		})
+	}
+
+	onlineOnly := cfg.Scenario == SmartphoneTrace
+	online := func(i int) bool { return net.Online(i) }
+	run := &singleRun{metric: &metrics.Series{}}
+	if cfg.TrackTokens {
+		run.tokens = &metrics.Series{}
+	}
+	sample := func(t float64) {
+		switch cfg.App {
+		case GossipLearning:
+			if onlineOnly {
+				run.metric.Add(t, gossiplearning.ProgressOnline(walkers, online, t, cfg.TransferDelay))
+			} else {
+				run.metric.Add(t, gossiplearning.Progress(walkers, t, cfg.TransferDelay))
+			}
+		case PushGossip:
+			if onlineOnly {
+				run.metric.Add(t, pushgossip.LagOnline(states, online, latest))
+			} else {
+				run.metric.Add(t, pushgossip.Lag(states, latest))
+			}
+		case ChaoticIteration:
+			run.metric.Add(t, poweriter.Angle(iterStats, reference))
+		}
+		if run.tokens != nil {
+			run.tokens.Add(t, net.AverageTokens(onlineOnly))
+		}
+	}
+	net.SamplePeriodic(cfg.SampleEvery, cfg.SampleEvery, sample)
+
+	net.Run(cfg.Duration())
+	run.sent = net.MessagesSent()
+
+	if cfg.AuditRateLimit {
+		if violations := net.AuditViolations(); len(violations) > 0 {
+			return nil, fmt.Errorf("experiment: rate limit violated: %v", violations[0])
+		}
+	}
+	return run, nil
+}
+
+func buildOverlay(cfg Config, seed uint64) (*overlay.Graph, error) {
+	if cfg.App == ChaoticIteration {
+		// The 20-out overlay mixes too well for power iteration (§4.1.3); the
+		// paper uses a Watts–Strogatz small world instead.
+		return overlay.WattsStrogatz(cfg.N, cfg.WSNeighbors, cfg.WSBeta, rng.Derive(seed, 0x7773))
+	}
+	return overlay.RandomKOut(cfg.N, cfg.OverlayK, rng.Derive(seed, 0x6b6f7574))
+}
+
+func buildTrace(cfg Config, seed uint64) (*trace.Trace, error) {
+	if cfg.Scenario != SmartphoneTrace {
+		return nil, nil
+	}
+	// Generate one synthetic 2-day segment per node (the paper assigns a
+	// different real segment to each node). The segment duration must cover
+	// the experiment.
+	smCfg := trace.DefaultSmartphoneConfig(cfg.N, rng.Derive(seed, 0x7472616365))
+	smCfg.Duration = cfg.Duration()
+	return trace.Smartphone(smCfg)
+}

@@ -1,0 +1,160 @@
+package experiment
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/szte-dcs/tokenaccount/internal/core"
+)
+
+// StrategyKind names one of the token account implementations of §3.3 (plus
+// the proactive baseline and the pure reactive reference).
+type StrategyKind string
+
+// The available strategy kinds.
+const (
+	KindProactive   StrategyKind = "proactive"
+	KindSimple      StrategyKind = "simple"
+	KindGeneralized StrategyKind = "generalized"
+	KindRandomized  StrategyKind = "randomized"
+	KindReactive    StrategyKind = "reactive"
+)
+
+// StrategySpec is a serializable description of a strategy, used by
+// experiment configs, CLI flags and figure definitions.
+type StrategySpec struct {
+	// Kind selects the implementation.
+	Kind StrategyKind
+	// A is the spending parameter of the generalized and randomized
+	// strategies, or the fanout of the pure reactive strategy.
+	A int
+	// C is the token capacity (ignored by proactive and reactive).
+	C int
+}
+
+// Build constructs the core.Strategy the spec describes.
+func (s StrategySpec) Build() (core.Strategy, error) {
+	switch s.Kind {
+	case KindProactive:
+		return core.PurelyProactive{}, nil
+	case KindSimple:
+		return core.NewSimple(s.C)
+	case KindGeneralized:
+		return core.NewGeneralized(s.A, s.C)
+	case KindRandomized:
+		return core.NewRandomized(s.A, s.C)
+	case KindReactive:
+		fanout := s.A
+		if fanout == 0 {
+			fanout = 1
+		}
+		return core.NewPureReactive(fanout, true)
+	default:
+		return nil, fmt.Errorf("experiment: unknown strategy kind %q", s.Kind)
+	}
+}
+
+// Label returns a compact identifier such as "randomized(A=5,C=10)".
+func (s StrategySpec) Label() string {
+	switch s.Kind {
+	case KindProactive:
+		return "proactive"
+	case KindSimple:
+		return fmt.Sprintf("simple(C=%d)", s.C)
+	case KindReactive:
+		return fmt.Sprintf("reactive(k=%d)", max(1, s.A))
+	default:
+		return fmt.Sprintf("%s(A=%d,C=%d)", s.Kind, s.A, s.C)
+	}
+}
+
+// ParseStrategySpec parses strings of the forms "proactive",
+// "simple:C", "generalized:A:C", "randomized:A:C" and "reactive:k", as used
+// by the CLI tools.
+func ParseStrategySpec(s string) (StrategySpec, error) {
+	parts := strings.Split(strings.TrimSpace(s), ":")
+	kind := StrategyKind(strings.ToLower(parts[0]))
+	atoi := func(i int) (int, error) {
+		if i >= len(parts) {
+			return 0, fmt.Errorf("experiment: strategy %q: missing parameter %d", s, i)
+		}
+		v, err := strconv.Atoi(parts[i])
+		if err != nil {
+			return 0, fmt.Errorf("experiment: strategy %q: bad parameter %q", s, parts[i])
+		}
+		return v, nil
+	}
+	switch kind {
+	case KindProactive:
+		return StrategySpec{Kind: KindProactive}, nil
+	case KindSimple:
+		c, err := atoi(1)
+		if err != nil {
+			return StrategySpec{}, err
+		}
+		return StrategySpec{Kind: KindSimple, C: c}, nil
+	case KindGeneralized, KindRandomized:
+		a, err := atoi(1)
+		if err != nil {
+			return StrategySpec{}, err
+		}
+		c, err := atoi(2)
+		if err != nil {
+			return StrategySpec{}, err
+		}
+		return StrategySpec{Kind: kind, A: a, C: c}, nil
+	case KindReactive:
+		k, err := atoi(1)
+		if err != nil {
+			return StrategySpec{}, err
+		}
+		return StrategySpec{Kind: KindReactive, A: k}, nil
+	default:
+		return StrategySpec{}, fmt.Errorf("experiment: unknown strategy %q", s)
+	}
+}
+
+// Proactive returns the baseline spec (simple token account with C = 0).
+func Proactive() StrategySpec { return StrategySpec{Kind: KindProactive} }
+
+// Simple returns a simple token account spec.
+func Simple(c int) StrategySpec { return StrategySpec{Kind: KindSimple, C: c} }
+
+// Generalized returns a generalized token account spec.
+func Generalized(a, c int) StrategySpec { return StrategySpec{Kind: KindGeneralized, A: a, C: c} }
+
+// Randomized returns a randomized token account spec.
+func Randomized(a, c int) StrategySpec { return StrategySpec{Kind: KindRandomized, A: a, C: c} }
+
+// ParameterGrid returns the full parameter exploration of §4.2: every
+// combination of A ∈ {1,2,5,10,15,20,40} and C−A ∈ {0,1,2,5,10,15,20,40,80}
+// for the given strategy kind (generalized or randomized), or the
+// corresponding capacities for the simple strategy.
+func ParameterGrid(kind StrategyKind) []StrategySpec {
+	aValues := []int{1, 2, 5, 10, 15, 20, 40}
+	cMinusA := []int{0, 1, 2, 5, 10, 15, 20, 40, 80}
+	var specs []StrategySpec
+	switch kind {
+	case KindSimple:
+		seen := map[int]bool{}
+		for _, a := range aValues {
+			for _, d := range cMinusA {
+				c := a + d
+				if !seen[c] {
+					seen[c] = true
+					specs = append(specs, Simple(c))
+				}
+			}
+		}
+	case KindGeneralized, KindRandomized:
+		for _, a := range aValues {
+			for _, d := range cMinusA {
+				specs = append(specs, StrategySpec{Kind: kind, A: a, C: a + d})
+			}
+		}
+	case KindProactive:
+		specs = append(specs, Proactive())
+	}
+	return specs
+}

@@ -1,0 +1,219 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/szte-dcs/tokenaccount/internal/overlay"
+)
+
+func TestNewSparseFromRowsValidation(t *testing.T) {
+	if _, err := NewSparseFromRows(2, [][]int{{0}}, [][]float64{{1}}); err == nil {
+		t.Error("row count mismatch accepted")
+	}
+	if _, err := NewSparseFromRows(1, [][]int{{0, 0}}, [][]float64{{1}}); err == nil {
+		t.Error("column/value length mismatch accepted")
+	}
+	if _, err := NewSparseFromRows(1, [][]int{{3}}, [][]float64{{1}}); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+}
+
+func TestSparseAtAndMulVec(t *testing.T) {
+	// M = [[2 0 1], [0 3 0], [4 0 0]]
+	m, err := NewSparseFromRows(3,
+		[][]int{{0, 2}, {1}, {0}},
+		[][]float64{{2, 1}, {3}, {4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 4 || m.N() != 3 {
+		t.Fatalf("NNZ=%d N=%d", m.NNZ(), m.N())
+	}
+	if m.At(0, 2) != 1 || m.At(2, 0) != 4 || m.At(1, 0) != 0 {
+		t.Error("At returned wrong values")
+	}
+	x := []float64{1, 2, 3}
+	dst := make([]float64, 3)
+	m.MulVec(dst, x)
+	want := []float64{5, 6, 4}
+	for i := range want {
+		if math.Abs(dst[i]-want[i]) > 1e-12 {
+			t.Errorf("MulVec[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestMulVecDimensionPanics(t *testing.T) {
+	m, _ := NewSparseFromRows(2, [][]int{{0}, {1}}, [][]float64{{1}, {1}})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on dimension mismatch")
+		}
+	}()
+	m.MulVec(make([]float64, 3), make([]float64, 2))
+}
+
+func TestVectorHelpers(t *testing.T) {
+	a := []float64{3, 4}
+	if Norm2(a) != 5 {
+		t.Errorf("Norm2 = %v, want 5", Norm2(a))
+	}
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Error("Dot wrong")
+	}
+	v := []float64{3, 4}
+	if n := Normalize(v); n != 5 {
+		t.Errorf("Normalize returned %v, want 5", n)
+	}
+	if math.Abs(Norm2(v)-1) > 1e-12 {
+		t.Errorf("normalized norm = %v", Norm2(v))
+	}
+	zero := []float64{0, 0}
+	if Normalize(zero) != 0 {
+		t.Error("Normalize of zero vector should return 0")
+	}
+}
+
+func TestAngle(t *testing.T) {
+	if got := Angle([]float64{1, 0}, []float64{0, 1}); math.Abs(got-math.Pi/2) > 1e-12 {
+		t.Errorf("Angle(orthogonal) = %v", got)
+	}
+	if got := Angle([]float64{1, 1}, []float64{2, 2}); got > 1e-7 {
+		t.Errorf("Angle(parallel) = %v, want 0", got)
+	}
+	// Sign is ignored: anti-parallel vectors have angle 0.
+	if got := Angle([]float64{1, 0}, []float64{-1, 0}); got > 1e-7 {
+		t.Errorf("Angle(anti-parallel) = %v, want 0", got)
+	}
+	if got := Angle([]float64{0, 0}, []float64{1, 0}); math.Abs(got-math.Pi/2) > 1e-12 {
+		t.Errorf("Angle with zero vector = %v, want π/2", got)
+	}
+	if got := CosineDistance([]float64{1, 1}, []float64{1, 1}); got > 1e-12 {
+		t.Errorf("CosineDistance(identical) = %v", got)
+	}
+	if got := CosineDistance([]float64{0, 0}, []float64{1, 1}); got != 1 {
+		t.Errorf("CosineDistance with zero vector = %v, want 1", got)
+	}
+}
+
+func TestDotLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestColumnStochasticFromGraph(t *testing.T) {
+	g, err := overlay.NewFromOut([][]int{{1, 2}, {2}, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ColumnStochasticFromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column j sums to 1.
+	for j := 0; j < 3; j++ {
+		sum := 0.0
+		for i := 0; i < 3; i++ {
+			sum += m.At(i, j)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("column %d sums to %v, want 1", j, sum)
+		}
+	}
+	// Node 0 has out-degree 2, so A[1][0] = A[2][0] = 0.5.
+	if m.At(1, 0) != 0.5 || m.At(2, 0) != 0.5 {
+		t.Error("weights from node 0 wrong")
+	}
+}
+
+func TestColumnStochasticRejectsSinks(t *testing.T) {
+	g, err := overlay.NewFromOut([][]int{{1}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ColumnStochasticFromGraph(g); err == nil {
+		t.Error("graph with a sink node accepted")
+	}
+}
+
+func TestPowerIterationOnKnownMatrix(t *testing.T) {
+	// M = [[2 1], [1 2]] has dominant eigenvalue 3 with eigenvector (1,1)/√2.
+	m, err := NewSparseFromRows(2, [][]int{{0, 1}, {0, 1}}, [][]float64{{2, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := PowerIteration(m, 1000, 1e-12)
+	if !res.Converged {
+		t.Fatal("power iteration did not converge")
+	}
+	if math.Abs(res.Eigenvalue-3) > 1e-6 {
+		t.Errorf("eigenvalue = %v, want 3", res.Eigenvalue)
+	}
+	want := 1 / math.Sqrt(2)
+	for i, v := range res.Vector {
+		if math.Abs(math.Abs(v)-want) > 1e-6 {
+			t.Errorf("eigenvector[%d] = %v, want ±%v", i, v, want)
+		}
+	}
+}
+
+func TestPowerIterationOnColumnStochasticGraph(t *testing.T) {
+	g, err := overlay.WattsStrogatz(200, 4, 0.05, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ColumnStochasticFromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := PowerIteration(m, 200000, 1e-9)
+	if !res.Converged {
+		t.Fatal("power iteration did not converge on the small-world matrix")
+	}
+	if math.Abs(res.Eigenvalue-1) > 1e-6 {
+		t.Errorf("spectral radius = %v, want 1", res.Eigenvalue)
+	}
+	// The eigenvector is a fixed point: ‖Mv − v‖ small.
+	mv := make([]float64, m.N())
+	m.MulVec(mv, res.Vector)
+	if angle := Angle(mv, res.Vector); angle > 1e-6 {
+		t.Errorf("Mv deviates from v by angle %v", angle)
+	}
+	// Entries of the dominant eigenvector of a non-negative irreducible
+	// matrix are strictly positive (up to global sign).
+	sign := 1.0
+	if res.Vector[0] < 0 {
+		sign = -1
+	}
+	for i, v := range res.Vector {
+		if sign*v <= 0 {
+			t.Fatalf("eigenvector entry %d = %v is not strictly of uniform sign", i, v)
+		}
+	}
+}
+
+func TestQuickAngleSymmetricAndBounded(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		n := len(raw) / 2
+		a, b := raw[:n], raw[n:2*n]
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		ab, ba := Angle(a, b), Angle(b, a)
+		return math.Abs(ab-ba) < 1e-9 && ab >= 0 && ab <= math.Pi/2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

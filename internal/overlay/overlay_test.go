@@ -1,0 +1,299 @@
+package overlay
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFromOut(t *testing.T) {
+	g, err := NewFromOut([][]int{{1, 2}, {2}, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.Edges() != 4 {
+		t.Fatalf("N=%d Edges=%d, want 3, 4", g.N(), g.Edges())
+	}
+	if g.OutDegree(0) != 2 || g.OutDegree(1) != 1 || g.OutDegree(2) != 1 {
+		t.Errorf("out-degrees wrong")
+	}
+	if g.InDegree(2) != 2 {
+		t.Errorf("InDegree(2) = %d, want 2", g.InDegree(2))
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Error("HasEdge mismatch")
+	}
+	in := g.InNeighbors(2)
+	found := map[int32]bool{}
+	for _, v := range in {
+		found[v] = true
+	}
+	if !found[0] || !found[1] {
+		t.Errorf("InNeighbors(2) = %v, want {0,1}", in)
+	}
+}
+
+func TestNewFromOutRejectsOutOfRange(t *testing.T) {
+	if _, err := NewFromOut([][]int{{5}}); err == nil {
+		t.Error("out-of-range neighbour accepted")
+	}
+	if _, err := NewFromOut([][]int{{-1}, {0}}); err == nil {
+		t.Error("negative neighbour accepted")
+	}
+}
+
+func TestRandomKOutProperties(t *testing.T) {
+	const n, k = 500, 20
+	g, err := RandomKOut(n, k, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != n || g.Edges() != n*k {
+		t.Fatalf("N=%d Edges=%d, want %d, %d", g.N(), g.Edges(), n, n*k)
+	}
+	for i := 0; i < n; i++ {
+		if g.OutDegree(i) != k {
+			t.Fatalf("OutDegree(%d) = %d, want %d", i, g.OutDegree(i), k)
+		}
+		seen := map[int32]bool{}
+		for _, v := range g.OutNeighbors(i) {
+			if int(v) == i {
+				t.Fatalf("node %d has a self-loop", i)
+			}
+			if seen[v] {
+				t.Fatalf("node %d has duplicate neighbour %d", i, v)
+			}
+			seen[v] = true
+		}
+	}
+	if !g.IsWeaklyConnected() {
+		t.Error("20-out graph with 500 nodes should be weakly connected")
+	}
+	if !g.IsStronglyConnected() {
+		t.Error("20-out graph with 500 nodes should be strongly connected")
+	}
+}
+
+func TestRandomKOutDeterministicBySeed(t *testing.T) {
+	a, _ := RandomKOut(100, 5, 7)
+	b, _ := RandomKOut(100, 5, 7)
+	c, _ := RandomKOut(100, 5, 8)
+	same := func(x, y *Graph) bool {
+		if x.Edges() != y.Edges() {
+			return false
+		}
+		for i := 0; i < x.N(); i++ {
+			xn, yn := x.OutNeighbors(i), y.OutNeighbors(i)
+			if len(xn) != len(yn) {
+				return false
+			}
+			for j := range xn {
+				if xn[j] != yn[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if !same(a, b) {
+		t.Error("same seed produced different graphs")
+	}
+	if same(a, c) {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestRandomKOutValidation(t *testing.T) {
+	if _, err := RandomKOut(1, 1, 0); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := RandomKOut(10, 0, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := RandomKOut(10, 10, 0); err == nil {
+		t.Error("k=n accepted")
+	}
+}
+
+func TestWattsStrogatzNoRewiring(t *testing.T) {
+	g, err := WattsStrogatz(20, 4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure ring lattice: every node has exactly 4 neighbours, the two on
+	// each side, and the graph is symmetric.
+	for i := 0; i < 20; i++ {
+		if g.OutDegree(i) != 4 {
+			t.Fatalf("OutDegree(%d) = %d, want 4", i, g.OutDegree(i))
+		}
+		for _, v := range g.OutNeighbors(i) {
+			if !g.HasEdge(int(v), i) {
+				t.Fatalf("edge %d->%d not symmetric", i, v)
+			}
+		}
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 2) || !g.HasEdge(0, 19) || !g.HasEdge(0, 18) {
+		t.Error("ring lattice neighbours missing")
+	}
+	if g.HasEdge(0, 3) {
+		t.Error("unexpected edge 0->3 in lattice with k=4")
+	}
+}
+
+func TestWattsStrogatzRewiringKeepsSymmetryAndConnectivity(t *testing.T) {
+	g, err := WattsStrogatz(5000, 4, 0.01, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := 0
+	for i := 0; i < g.N(); i++ {
+		for _, v := range g.OutNeighbors(i) {
+			if !g.HasEdge(int(v), i) {
+				t.Fatalf("edge %d->%d not symmetric after rewiring", i, v)
+			}
+			if int(v) == i {
+				t.Fatalf("self-loop at %d", i)
+			}
+		}
+		edges += g.OutDegree(i)
+	}
+	// Rewiring preserves the edge count (2*n*k/2 directed edges).
+	if edges != 5000*4 {
+		t.Errorf("directed edge count = %d, want %d", edges, 5000*4)
+	}
+	if !g.IsWeaklyConnected() {
+		t.Error("Watts-Strogatz graph should remain connected at beta=0.01")
+	}
+}
+
+func TestWattsStrogatzSmallWorldShortensDiameter(t *testing.T) {
+	lattice, err := WattsStrogatz(400, 4, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewired, err := WattsStrogatz(400, 4, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, dr := lattice.Diameter(), rewired.Diameter()
+	if dl <= 0 || dr <= 0 {
+		t.Fatalf("diameters %d, %d should be positive", dl, dr)
+	}
+	if dr >= dl {
+		t.Errorf("rewiring did not shorten diameter: lattice %d, rewired %d", dl, dr)
+	}
+}
+
+func TestWattsStrogatzValidation(t *testing.T) {
+	cases := []struct {
+		n, k int
+		beta float64
+	}{
+		{3, 2, 0.1},
+		{10, 3, 0.1},
+		{10, 0, 0.1},
+		{10, 4, -0.1},
+		{10, 4, 1.5},
+	}
+	for _, c := range cases {
+		if _, err := WattsStrogatz(c.n, c.k, c.beta, 0); err == nil {
+			t.Errorf("WattsStrogatz(%d,%d,%v) accepted", c.n, c.k, c.beta)
+		}
+	}
+}
+
+func TestRing(t *testing.T) {
+	g, err := Ring(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(5, 0) || !g.HasEdge(5, 1) || g.HasEdge(5, 2) {
+		t.Error("ring edges wrong")
+	}
+	if !g.IsStronglyConnected() {
+		t.Error("ring should be strongly connected")
+	}
+	if _, err := Ring(5, 5); err == nil {
+		t.Error("Ring(5,5) accepted")
+	}
+	if _, err := Ring(1, 1); err == nil {
+		t.Error("Ring(1,1) accepted")
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g, err := Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges() != 20 {
+		t.Errorf("Edges = %d, want 20", g.Edges())
+	}
+	if g.Diameter() != 1 {
+		t.Errorf("Diameter = %d, want 1", g.Diameter())
+	}
+	if _, err := Complete(1); err == nil {
+		t.Error("Complete(1) accepted")
+	}
+}
+
+func TestDiameterUnreachable(t *testing.T) {
+	g, err := NewFromOut([][]int{{1}, {0}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := g.Diameter(); d != -1 {
+		t.Errorf("Diameter = %d, want -1 for disconnected graph", d)
+	}
+	if g.IsStronglyConnected() {
+		t.Error("disconnected graph reported strongly connected")
+	}
+}
+
+func TestAvgOutDegree(t *testing.T) {
+	g, _ := RandomKOut(50, 7, 1)
+	if got := g.AvgOutDegree(); got != 7 {
+		t.Errorf("AvgOutDegree = %v, want 7", got)
+	}
+	empty := &Graph{}
+	if empty.AvgOutDegree() != 0 {
+		t.Error("empty graph AvgOutDegree != 0")
+	}
+}
+
+func TestQuickInOutEdgeCountsMatch(t *testing.T) {
+	f := func(seed uint64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%80) + 10
+		k := int(kRaw%5) + 1
+		g, err := RandomKOut(n, k, seed)
+		if err != nil {
+			return false
+		}
+		// Sum of in-degrees equals sum of out-degrees equals n*k, and every
+		// out-edge appears exactly once as an in-edge.
+		inSum := 0
+		for i := 0; i < n; i++ {
+			inSum += g.InDegree(i)
+		}
+		if inSum != n*k {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for _, v := range g.OutNeighbors(i) {
+				found := false
+				for _, u := range g.InNeighbors(int(v)) {
+					if int(u) == i {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+// Package peersample implements the peer sampling service (SELECTPEER in the
+// paper). The paper treats peer sampling as a black box; in the experiments
+// it is realized over a fixed overlay (each node samples uniformly among its
+// 20 out-neighbours), optionally restricted to currently online neighbours,
+// because "the failure of a neighbor is detected by the node".
+package peersample
+
+import (
+	"fmt"
+
+	"github.com/szte-dcs/tokenaccount/internal/overlay"
+	"github.com/szte-dcs/tokenaccount/internal/protocol"
+)
+
+// Liveness reports whether a node is currently reachable. A nil Liveness
+// means every node is always reachable.
+type Liveness func(id protocol.NodeID) bool
+
+// Overlay samples uniformly among a node's out-neighbours in a fixed overlay
+// graph, skipping offline neighbours when a liveness oracle is configured.
+// It implements protocol.PeerSelector.
+type Overlay struct {
+	graph *overlay.Graph
+	self  int
+	alive Liveness
+
+	// scratch buffer reused across calls to avoid allocating on every
+	// selection; Overlay is therefore not safe for concurrent use, matching
+	// the single-threaded use of a protocol.Node.
+	candidates []int32
+}
+
+var _ protocol.PeerSelector = (*Overlay)(nil)
+
+// NewOverlay returns a sampler for the given node over the graph. alive may
+// be nil (all peers considered reachable).
+func NewOverlay(g *overlay.Graph, self int, alive Liveness) (*Overlay, error) {
+	if g == nil {
+		return nil, fmt.Errorf("peersample: nil graph")
+	}
+	if self < 0 || self >= g.N() {
+		return nil, fmt.Errorf("peersample: node %d outside [0,%d)", self, g.N())
+	}
+	return &Overlay{graph: g, self: self, alive: alive}, nil
+}
+
+// SelectPeer returns a uniformly random reachable out-neighbour.
+func (o *Overlay) SelectPeer(rng protocol.Rand) (protocol.NodeID, bool) {
+	nbrs := o.graph.OutNeighbors(o.self)
+	if len(nbrs) == 0 {
+		return protocol.NoNode, false
+	}
+	if o.alive == nil {
+		return protocol.NodeID(nbrs[rng.Intn(len(nbrs))]), true
+	}
+	o.candidates = o.candidates[:0]
+	for _, v := range nbrs {
+		if o.alive(protocol.NodeID(v)) {
+			o.candidates = append(o.candidates, v)
+		}
+	}
+	if len(o.candidates) == 0 {
+		return protocol.NoNode, false
+	}
+	return protocol.NodeID(o.candidates[rng.Intn(len(o.candidates))]), true
+}
+
+// Uniform samples uniformly among all nodes 0..N-1 except the node itself,
+// optionally restricted by a liveness oracle. It models an idealized peer
+// sampling service and is used in tests and examples.
+type Uniform struct {
+	n     int
+	self  int
+	alive Liveness
+}
+
+var _ protocol.PeerSelector = (*Uniform)(nil)
+
+// NewUniform returns a uniform sampler over n nodes for the given node.
+func NewUniform(n, self int, alive Liveness) (*Uniform, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("peersample: Uniform needs at least 2 nodes, got %d", n)
+	}
+	if self < 0 || self >= n {
+		return nil, fmt.Errorf("peersample: node %d outside [0,%d)", self, n)
+	}
+	return &Uniform{n: n, self: self, alive: alive}, nil
+}
+
+// SelectPeer returns a uniformly random node other than self. With a liveness
+// oracle it retries a bounded number of times and then gives up, which keeps
+// the selection O(1) even when most of the network is offline.
+func (u *Uniform) SelectPeer(rng protocol.Rand) (protocol.NodeID, bool) {
+	const maxAttempts = 32
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		v := rng.Intn(u.n)
+		if v == u.self {
+			continue
+		}
+		id := protocol.NodeID(v)
+		if u.alive == nil || u.alive(id) {
+			return id, true
+		}
+	}
+	return protocol.NoNode, false
+}
+
+// Static always returns the same fixed peer; it is a convenience for unit
+// tests of higher layers.
+type Static struct {
+	// Peer is the node to return.
+	Peer protocol.NodeID
+	// OK is returned as the second result.
+	OK bool
+}
+
+var _ protocol.PeerSelector = Static{}
+
+// SelectPeer implements protocol.PeerSelector.
+func (s Static) SelectPeer(protocol.Rand) (protocol.NodeID, bool) { return s.Peer, s.OK }

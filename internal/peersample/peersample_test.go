@@ -1,0 +1,146 @@
+package peersample
+
+import (
+	"testing"
+
+	"github.com/szte-dcs/tokenaccount/internal/overlay"
+	"github.com/szte-dcs/tokenaccount/internal/protocol"
+	"github.com/szte-dcs/tokenaccount/internal/rng"
+)
+
+func TestNewOverlayValidation(t *testing.T) {
+	g, _ := overlay.RandomKOut(10, 3, 1)
+	if _, err := NewOverlay(nil, 0, nil); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := NewOverlay(g, -1, nil); err == nil {
+		t.Error("negative self accepted")
+	}
+	if _, err := NewOverlay(g, 10, nil); err == nil {
+		t.Error("out-of-range self accepted")
+	}
+}
+
+func TestOverlaySelectsOnlyNeighbors(t *testing.T) {
+	g, _ := overlay.RandomKOut(50, 5, 3)
+	src := rng.New(9)
+	s, err := NewOverlay(g, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neighbors := map[protocol.NodeID]bool{}
+	for _, v := range g.OutNeighbors(7) {
+		neighbors[protocol.NodeID(v)] = true
+	}
+	counts := map[protocol.NodeID]int{}
+	for i := 0; i < 5000; i++ {
+		p, ok := s.SelectPeer(src)
+		if !ok {
+			t.Fatal("SelectPeer failed")
+		}
+		if !neighbors[p] {
+			t.Fatalf("selected %d which is not a neighbour", p)
+		}
+		counts[p]++
+	}
+	// All 5 neighbours should be hit roughly uniformly (expected 1000 each).
+	if len(counts) != 5 {
+		t.Fatalf("only %d distinct neighbours selected, want 5", len(counts))
+	}
+	for p, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("neighbour %d selected %d times, want ≈ 1000", p, c)
+		}
+	}
+}
+
+func TestOverlayRespectsLiveness(t *testing.T) {
+	g, _ := overlay.RandomKOut(20, 4, 5)
+	nbrs := g.OutNeighbors(0)
+	onlyAlive := protocol.NodeID(nbrs[2])
+	alive := func(id protocol.NodeID) bool { return id == onlyAlive }
+	s, err := NewOverlay(g, 0, alive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(1)
+	for i := 0; i < 100; i++ {
+		p, ok := s.SelectPeer(src)
+		if !ok || p != onlyAlive {
+			t.Fatalf("SelectPeer = (%d, %v), want (%d, true)", p, ok, onlyAlive)
+		}
+	}
+	dead, err := NewOverlay(g, 0, func(protocol.NodeID) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dead.SelectPeer(src); ok {
+		t.Error("SelectPeer succeeded with all neighbours offline")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	if _, err := NewUniform(1, 0, nil); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := NewUniform(10, 10, nil); err == nil {
+		t.Error("self out of range accepted")
+	}
+	u, err := NewUniform(10, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(2)
+	seen := map[protocol.NodeID]bool{}
+	for i := 0; i < 2000; i++ {
+		p, ok := u.SelectPeer(src)
+		if !ok {
+			t.Fatal("SelectPeer failed")
+		}
+		if p == 3 {
+			t.Fatal("selected self")
+		}
+		seen[p] = true
+	}
+	if len(seen) != 9 {
+		t.Errorf("selected %d distinct peers, want 9", len(seen))
+	}
+}
+
+func TestUniformLivenessGivesUp(t *testing.T) {
+	u, err := NewUniform(100, 0, func(protocol.NodeID) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := u.SelectPeer(rng.New(4)); ok {
+		t.Error("SelectPeer succeeded with everyone offline")
+	}
+	partial, err := NewUniform(100, 0, func(id protocol.NodeID) bool { return id == 42 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	src := rng.New(5)
+	for i := 0; i < 200; i++ {
+		if p, ok := partial.SelectPeer(src); ok {
+			if p != 42 {
+				t.Fatalf("selected offline node %d", p)
+			}
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Error("never found the single online node in 200 tries")
+	}
+}
+
+func TestStatic(t *testing.T) {
+	s := Static{Peer: 7, OK: true}
+	if p, ok := s.SelectPeer(rng.New(1)); p != 7 || !ok {
+		t.Errorf("Static.SelectPeer = (%d, %v)", p, ok)
+	}
+	none := Static{OK: false}
+	if _, ok := none.SelectPeer(rng.New(1)); ok {
+		t.Error("Static with OK=false returned ok")
+	}
+}

@@ -1,0 +1,157 @@
+// Package sim provides a deterministic discrete-event simulation engine with
+// virtual time. It plays the role of the PeerSim simulator used in the
+// paper's evaluation: events (protocol rounds, message deliveries, churn
+// transitions, metric probes) are executed in non-decreasing time order, ties
+// broken by scheduling order, so a run is fully reproducible for a given
+// seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. The callback receives no arguments; closures
+// capture whatever context they need. Keeping events as bare funcs keeps the
+// scheduler generic and allocation-light.
+type event struct {
+	time float64
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use: all events run on the goroutine that calls Run, RunUntil or
+// Step.
+type Engine struct {
+	heap      eventHeap
+	now       float64
+	seq       uint64
+	processed uint64
+	stopped   bool
+}
+
+// NewEngine returns an engine with virtual time 0 and an empty event queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of scheduled, not-yet-executed events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Processed returns the number of executed events.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Schedule runs fn after the given delay of virtual time. A non-positive or
+// NaN delay is treated as zero (the event runs at the current time, after all
+// events already scheduled for that time). It panics on a nil callback.
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if fn == nil {
+		panic("sim: Schedule with nil callback")
+	}
+	if delay < 0 || math.IsNaN(delay) {
+		delay = 0
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at the given absolute virtual time. Times in the past are
+// clamped to the current time. It panics on a nil callback.
+func (e *Engine) At(t float64, fn func()) {
+	if fn == nil {
+		panic("sim: At with nil callback")
+	}
+	if t < e.now || math.IsNaN(t) {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.heap, event{time: t, seq: e.seq, fn: fn})
+}
+
+// Every schedules fn to run now+phase, now+phase+interval, ... until the
+// engine stops or the callback returns false. It panics if interval is not
+// positive or the callback is nil.
+func (e *Engine) Every(phase, interval float64, fn func() bool) {
+	if fn == nil {
+		panic("sim: Every with nil callback")
+	}
+	if interval <= 0 || math.IsNaN(interval) {
+		panic(fmt.Sprintf("sim: Every with non-positive interval %v", interval))
+	}
+	var tick func()
+	tick = func() {
+		if fn() {
+			e.Schedule(interval, tick)
+		}
+	}
+	e.Schedule(phase, tick)
+}
+
+// Step executes the single earliest pending event and reports whether an
+// event was executed.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 || e.stopped {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(event)
+	e.now = ev.time
+	e.processed++
+	ev.fn()
+	return true
+}
+
+// RunUntil executes events in time order until the queue is exhausted, Stop
+// is called, or the next event lies strictly after the horizon. Virtual time
+// is advanced to the horizon on return (unless stopped earlier), so repeated
+// RunUntil calls with increasing horizons behave like one long run.
+func (e *Engine) RunUntil(horizon float64) {
+	for len(e.heap) > 0 && !e.stopped {
+		if e.heap[0].time > horizon {
+			break
+		}
+		e.Step()
+	}
+	if !e.stopped && horizon > e.now {
+		e.now = horizon
+	}
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// Stop makes the engine refuse to execute further events. Pending events
+// remain queued (Pending still reports them) but will not run.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }

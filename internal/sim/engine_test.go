@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now() = %v, want 3", e.Now())
+	}
+	if e.Processed() != 3 {
+		t.Errorf("Processed() = %d, want 3", e.Processed())
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	if !sort.IntsAreSorted(order) {
+		t.Errorf("same-time events ran out of scheduling order: %v", order)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.Schedule(1, func() {
+		times = append(times, e.Now())
+		e.Schedule(2, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Errorf("times = %v, want [1 3]", times)
+	}
+}
+
+func TestNegativeDelayRunsNow(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(5, func() {
+		e.Schedule(-10, func() { ran = true })
+		if e.Pending() != 1 {
+			t.Errorf("Pending = %d, want 1", e.Pending())
+		}
+	})
+	e.Run()
+	if !ran {
+		t.Error("event with negative delay never ran")
+	}
+	if e.Now() != 5 {
+		t.Errorf("Now() = %v, want 5 (negative delay clamps to now)", e.Now())
+	}
+}
+
+func TestAtInPastClampsToNow(t *testing.T) {
+	e := NewEngine()
+	var at float64 = -1
+	e.Schedule(10, func() {
+		e.At(3, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 10 {
+		t.Errorf("past-scheduled event ran at %v, want 10", at)
+	}
+}
+
+func TestRunUntilAdvancesTime(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Every(0.5, 1.0, func() bool { count++; return true })
+	e.RunUntil(10)
+	// Ticks at 0.5, 1.5, ..., 9.5.
+	if count != 10 {
+		t.Errorf("count = %d, want 10", count)
+	}
+	if e.Now() != 10 {
+		t.Errorf("Now() = %v, want 10", e.Now())
+	}
+	e.RunUntil(20)
+	if count != 20 {
+		t.Errorf("count after second horizon = %d, want 20", count)
+	}
+}
+
+func TestEveryStopsWhenCallbackReturnsFalse(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Every(0, 1, func() bool {
+		count++
+		return count < 5
+	})
+	e.Run()
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+}
+
+func TestStopPreventsFurtherEvents(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Every(0, 1, func() bool {
+		count++
+		if count == 3 {
+			e.Stop()
+		}
+		return true
+	})
+	e.RunUntil(100)
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+	if !e.Stopped() {
+		t.Error("Stopped() = false")
+	}
+	if e.Pending() == 0 {
+		t.Error("pending events should remain queued after Stop")
+	}
+}
+
+func TestStepOnEmptyQueue(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Error("Step() on empty queue returned true")
+	}
+}
+
+func TestPanicsOnBadArguments(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	e := NewEngine()
+	assertPanics("Schedule nil", func() { e.Schedule(1, nil) })
+	assertPanics("At nil", func() { e.At(1, nil) })
+	assertPanics("Every nil", func() { e.Every(0, 1, nil) })
+	assertPanics("Every zero interval", func() { e.Every(0, 0, func() bool { return false }) })
+}
+
+func TestQuickEventsRunInTimeOrder(t *testing.T) {
+	f := func(delays []float64) bool {
+		e := NewEngine()
+		var executed []float64
+		for _, d := range delays {
+			if d < 0 {
+				d = -d
+			}
+			if d > 1e9 {
+				d = 1e9
+			}
+			e.Schedule(d, func() { executed = append(executed, e.Now()) })
+		}
+		e.Run()
+		return sort.Float64sAreSorted(executed) && len(executed) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(float64(j%17), func() {})
+		}
+		e.Run()
+	}
+}
