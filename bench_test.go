@@ -10,6 +10,9 @@ package tokenaccount_test
 // cmd/paperfigs -full.
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/szte-dcs/tokenaccount/internal/core"
@@ -18,6 +21,7 @@ import (
 	"github.com/szte-dcs/tokenaccount/internal/overlay"
 	"github.com/szte-dcs/tokenaccount/internal/protocol"
 	"github.com/szte-dcs/tokenaccount/internal/rng"
+	"github.com/szte-dcs/tokenaccount/internal/sim"
 	"github.com/szte-dcs/tokenaccount/internal/simnet"
 	"github.com/szte-dcs/tokenaccount/internal/trace"
 
@@ -328,5 +332,94 @@ func BenchmarkTraceGeneration(b *testing.B) {
 		if _, err := trace.Smartphone(trace.DefaultSmartphoneConfig(5000, uint64(i))); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRunnerSequentialVsParallel measures the repetition-level worker
+// pool: the same multi-repetition gossip learning experiment executed
+// sequentially and on all cores. The results are bit-identical (see
+// TestRunParallelMatchesSequential); only the wall clock should differ.
+func BenchmarkRunnerSequentialVsParallel(b *testing.B) {
+	cfg := experiment.Config{
+		App:         experiment.GossipLearning,
+		Strategy:    experiment.Randomized(5, 10),
+		N:           300,
+		Rounds:      50,
+		Repetitions: 8,
+		Seed:        1,
+	}
+	for _, workers := range []int{1, max(2, runtime.NumCPU())} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunParallel(context.Background(), cfg, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Metric.Len() == 0 {
+					b.Fatal("empty metric series")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepGridWorkers measures config-level concurrency as cmd/sweep
+// uses it: a small strategy grid swept with one worker and with all cores.
+func BenchmarkSweepGridWorkers(b *testing.B) {
+	specs := []experiment.StrategySpec{
+		experiment.Proactive(),
+		experiment.Simple(10),
+		experiment.Generalized(5, 10),
+		experiment.Randomized(5, 10),
+		experiment.Randomized(10, 20),
+		experiment.Simple(20),
+		experiment.Generalized(1, 10),
+		experiment.Randomized(1, 10),
+	}
+	for _, workers := range []int{1, max(2, runtime.NumCPU())} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				err := experiment.ForEach(context.Background(), workers, len(specs), func(j int) error {
+					_, err := experiment.Run(experiment.Config{
+						App:         experiment.PushGossip,
+						Strategy:    specs[j],
+						N:           200,
+						Rounds:      50,
+						Repetitions: 1,
+						Seed:        1,
+					})
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSchedulerQueues is the scheduler micro-benchmark behind the
+// DESIGN.md queue choice: a classic hold-model workload (every executed event
+// schedules one successor at a random future offset) over a few thousand
+// pending events, comparing the default index-slab 4-ary heap against the
+// container/heap reference. The slab queue's advantage is that Schedule/Step
+// never box events into interfaces, so its steady state allocates nothing.
+func BenchmarkSchedulerQueues(b *testing.B) {
+	const pending = 4096
+	for _, kind := range []sim.QueueKind{sim.QueueSlab, sim.QueueHeap} {
+		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			e := sim.NewEngineWithQueue(kind)
+			src := rng.New(1)
+			var hold func()
+			hold = func() { e.Schedule(src.Float64()*100, hold) }
+			for i := 0; i < pending; i++ {
+				e.Schedule(src.Float64()*100, hold)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+		})
 	}
 }

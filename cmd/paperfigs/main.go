@@ -35,18 +35,19 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("paperfigs", flag.ContinueOnError)
 	var (
-		fig   = fs.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5 or all")
-		n     = fs.Int("n", 0, "override network size (0 = scaled default)")
-		seed  = fs.Uint64("seed", 1, "random seed")
-		reps  = fs.Int("reps", 0, "override repetitions (0 = scaled default)")
-		round = fs.Int("rounds", 0, "override number of rounds (0 = scaled default)")
-		full  = fs.Bool("full", false, "use the paper's full-scale dimensions (slow)")
-		users = fs.Int("users", 1191, "number of trace users for Figure 1")
+		fig     = fs.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5 or all")
+		n       = fs.Int("n", 0, "override network size (0 = scaled default)")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		reps    = fs.Int("reps", 0, "override repetitions (0 = scaled default)")
+		round   = fs.Int("rounds", 0, "override number of rounds (0 = scaled default)")
+		full    = fs.Bool("full", false, "use the paper's full-scale dimensions (slow)")
+		users   = fs.Int("users", 1191, "number of trace users for Figure 1")
+		workers = fs.Int("workers", 0, "figure configurations simulated concurrently (0 = all cores)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opt := experiment.Options{N: *n, Rounds: *round, Repetitions: *reps, Seed: *seed, FullScale: *full}
+	opt := experiment.Options{N: *n, Rounds: *round, Repetitions: *reps, Seed: *seed, FullScale: *full, Workers: *workers}
 	runners := map[string]func() error{
 		"1": func() error { return figure1(w, *users, *seed) },
 		"2": func() error { return figure2(w, opt) },

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +32,7 @@ func run(args []string, w io.Writer) error {
 		n            = fs.Int("n", 500, "number of nodes")
 		rounds       = fs.Int("rounds", 200, "number of proactive periods")
 		reps         = fs.Int("reps", 1, "repetitions per setting")
+		workers      = fs.Int("workers", 0, "grid settings simulated concurrently (0 = all cores)")
 		seed         = fs.Uint64("seed", 1, "random seed")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -54,10 +56,13 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "# %s on %s, %s, N=%d, %d rounds, %d repetition(s)\n",
 		kind, app, scenario, *n, *rounds, *reps)
 	fmt.Fprintln(w, "strategy\tmsgs_per_node_per_round\tsteady_state_metric\tfinal_metric")
-	for _, spec := range specs {
+	// Grid settings are embarrassingly parallel: simulate them on a bounded
+	// worker pool and print the rows in grid order so the output is identical
+	// for any worker count.
+	results, err := experiment.Collect(context.Background(), *workers, len(specs), func(i int) (*experiment.Result, error) {
 		res, err := experiment.Run(experiment.Config{
 			App:         app,
-			Strategy:    spec,
+			Strategy:    specs[i],
 			Scenario:    scenario,
 			N:           *n,
 			Rounds:      *rounds,
@@ -65,8 +70,15 @@ func run(args []string, w io.Writer) error {
 			Seed:        *seed,
 		})
 		if err != nil {
-			return fmt.Errorf("%s: %w", spec.Label(), err)
+			return nil, fmt.Errorf("%s: %w", specs[i].Label(), err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, spec := range specs {
+		res := results[i]
 		fmt.Fprintf(w, "%s\t%.3f\t%g\t%g\n",
 			spec.Label(), res.MessagesPerNodePerRound, res.SteadyStateMetric, res.FinalMetric)
 	}

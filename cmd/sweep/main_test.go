@@ -43,3 +43,28 @@ func TestSweepErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepWorkersProduceIdenticalOutput runs the same small grid with one
+// and with four workers and requires byte-identical output: grid settings are
+// simulated concurrently but rows are printed in deterministic grid order.
+func TestSweepWorkersProduceIdenticalOutput(t *testing.T) {
+	sweep := func(workers string) string {
+		var out strings.Builder
+		err := run([]string{
+			"-app", "push-gossip",
+			"-kind", "simple",
+			"-n", "50",
+			"-rounds", "10",
+			"-reps", "2",
+			"-workers", workers,
+		}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	seq, par := sweep("1"), sweep("4")
+	if seq != par {
+		t.Fatalf("sweep output differs between -workers 1 and -workers 4:\n--- workers=1 ---\n%s--- workers=4 ---\n%s", seq, par)
+	}
+}

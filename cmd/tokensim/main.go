@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -35,6 +36,7 @@ func run(args []string, w io.Writer) error {
 		n            = fs.Int("n", 1000, "number of nodes")
 		rounds       = fs.Int("rounds", 200, "number of proactive periods")
 		reps         = fs.Int("reps", 1, "independent repetitions to average")
+		workers      = fs.Int("workers", 0, "repetitions simulated concurrently (0 = all cores)")
 		seed         = fs.Uint64("seed", 1, "random seed")
 		audit        = fs.Bool("audit", false, "verify the rate-limit envelope on sampled nodes")
 		tokens       = fs.Bool("tokens", false, "also print the average token balance series")
@@ -66,7 +68,7 @@ func run(args []string, w io.Writer) error {
 		AuditRateLimit: *audit,
 		TrackTokens:    *tokens,
 	}
-	res, err := experiment.Run(cfg)
+	res, err := experiment.RunParallel(context.Background(), cfg, *workers)
 	if err != nil {
 		return err
 	}

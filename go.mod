@@ -1,0 +1,3 @@
+module github.com/szte-dcs/tokenaccount
+
+go 1.24

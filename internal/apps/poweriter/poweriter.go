@@ -28,7 +28,7 @@ type WeightMessage struct {
 type State struct {
 	self      int
 	inNbrs    []int32
-	weights   []float64           // A[self][k] for each in-neighbour k, aligned with inNbrs
+	weights   []float64                   // A[self][k] for each in-neighbour k, aligned with inNbrs
 	buffer    map[protocol.NodeID]float64 // b_k,self
 	value     float64
 	recompute bool

@@ -155,11 +155,11 @@ func TestRandomizedProactiveValues(t *testing.T) {
 	}{
 		{0, 0},
 		{3, 0},
-		{4, 0},              // a < A-1 = 4? no: a = A-1 is start of ramp => (4-4)/(10-4) = 0
-		{7, 3.0 / 6.0},      // (7-4)/(6)
-		{10, 6.0 / 6.0},     // full
-		{11, 1},             // above C
-		{5, 1.0 / 6.0},      // (5-4)/6
+		{4, 0},          // a < A-1 = 4? no: a = A-1 is start of ramp => (4-4)/(10-4) = 0
+		{7, 3.0 / 6.0},  // (7-4)/(6)
+		{10, 6.0 / 6.0}, // full
+		{11, 1},         // above C
+		{5, 1.0 / 6.0},  // (5-4)/6
 	}
 	for _, tc := range tests {
 		if got := r.Proactive(tc.a); math.Abs(got-tc.want) > 1e-12 {

@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/szte-dcs/tokenaccount/internal/apps/gossiplearning"
@@ -249,49 +250,11 @@ type Result struct {
 
 // Run executes the experiment: Repetitions independent runs whose metric
 // series are averaged pointwise (as in the paper, which averages 10 runs).
+// Repetitions run sequentially on the calling goroutine; use a Runner or
+// RunParallel to spread them over a worker pool — the results are
+// bit-identical either way.
 func Run(cfg Config) (*Result, error) {
-	cfg = cfg.WithDefaults()
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	var (
-		metricRuns []*metrics.Series
-		tokenRuns  []*metrics.Series
-		totalSent  float64
-	)
-	for r := 0; r < cfg.Repetitions; r++ {
-		one, err := runOnce(cfg, cfg.Seed+uint64(r))
-		if err != nil {
-			return nil, fmt.Errorf("experiment: repetition %d: %w", r, err)
-		}
-		metricRuns = append(metricRuns, one.metric)
-		if one.tokens != nil {
-			tokenRuns = append(tokenRuns, one.tokens)
-		}
-		totalSent += float64(one.sent)
-	}
-	avg, err := metrics.Average(metricRuns)
-	if err != nil {
-		return nil, fmt.Errorf("experiment: averaging runs: %w", err)
-	}
-	if cfg.App == PushGossip && cfg.SmoothWindow > 0 {
-		avg = avg.Smooth(cfg.SmoothWindow)
-	}
-	res := &Result{
-		Config:       cfg,
-		Metric:       avg,
-		MessagesSent: totalSent / float64(cfg.Repetitions),
-	}
-	res.MessagesPerNodePerRound = res.MessagesSent / float64(cfg.N) / float64(cfg.Rounds)
-	_, res.FinalMetric = avg.Last()
-	res.SteadyStateMetric = avg.MeanAfter(cfg.Duration() / 2)
-	if len(tokenRuns) > 0 {
-		res.Tokens, err = metrics.Average(tokenRuns)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: averaging token series: %w", err)
-		}
-	}
-	return res, nil
+	return Runner{Workers: 1}.Run(context.Background(), cfg)
 }
 
 // singleRun holds the raw output of one repetition.

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/szte-dcs/tokenaccount/internal/meanfield"
@@ -24,6 +25,10 @@ type Options struct {
 	// FullScale requests the paper's exact dimensions, overriding N, Rounds
 	// and Repetitions.
 	FullScale bool
+	// Workers bounds how many strategy configurations are simulated
+	// concurrently (0 = all cores, 1 = sequential). Curves and summaries are
+	// emitted in deterministic figure order regardless.
+	Workers int
 }
 
 func (o Options) n(def, full int) int {
@@ -88,19 +93,21 @@ type FigureResult struct {
 }
 
 // figureCurves runs one application for every representative strategy under
-// the given scenario and collects the metric curves.
-func figureCurves(id string, app Application, scenario Scenario, n, rounds, reps int, seed uint64) (*FigureResult, error) {
+// the given scenario and collects the metric curves. Strategy configurations
+// are simulated concurrently (bounded by workers); columns are assembled in
+// the fixed figure order afterwards, so the output never depends on
+// scheduling.
+func figureCurves(id string, app Application, scenario Scenario, n, rounds, reps int, seed uint64, workers int) (*FigureResult, error) {
 	yLabel := map[Application]string{
 		GossipLearning:   "relative visited nodes (eq. 6)",
 		PushGossip:       "average update lag (eq. 7)",
 		ChaoticIteration: "angle to dominant eigenvector (rad)",
 	}[app]
-	table := metrics.NewTable("time (s)", yLabel)
-	out := &FigureResult{ID: id, Table: table}
-	for _, spec := range RepresentativeStrategies() {
+	specs := RepresentativeStrategies()
+	results, err := Collect(context.Background(), workers, len(specs), func(i int) (*Result, error) {
 		cfg := Config{
 			App:         app,
-			Strategy:    spec,
+			Strategy:    specs[i],
 			N:           n,
 			Rounds:      rounds,
 			Scenario:    scenario,
@@ -109,10 +116,17 @@ func figureCurves(id string, app Application, scenario Scenario, n, rounds, reps
 		}
 		res, err := Run(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", id, spec.Label(), err)
+			return nil, fmt.Errorf("%s: %s: %w", id, specs[i].Label(), err)
 		}
-		table.AddColumn(spec.Label(), res.Metric)
-		out.Results = append(out.Results, res)
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	table := metrics.NewTable("time (s)", yLabel)
+	out := &FigureResult{ID: id, Table: table, Results: results}
+	for i, spec := range specs {
+		table.AddColumn(spec.Label(), results[i].Metric)
 	}
 	return out, nil
 }
@@ -138,7 +152,7 @@ func Figure2(app Application, opt Options) (*FigureResult, error) {
 	return figureCurves(
 		fmt.Sprintf("figure2-%s", app),
 		app, FailureFree,
-		opt.n(500, 5000), opt.rounds(200), opt.reps(1), opt.Seed,
+		opt.n(500, 5000), opt.rounds(200), opt.reps(1), opt.Seed, opt.Workers,
 	)
 }
 
@@ -151,7 +165,7 @@ func Figure3(app Application, opt Options) (*FigureResult, error) {
 	return figureCurves(
 		fmt.Sprintf("figure3-%s", app),
 		app, SmartphoneTrace,
-		opt.n(500, 5000), opt.rounds(200), opt.reps(1), opt.Seed,
+		opt.n(500, 5000), opt.rounds(200), opt.reps(1), opt.Seed, opt.Workers,
 	)
 }
 
@@ -165,7 +179,7 @@ func Figure4(app Application, opt Options) (*FigureResult, error) {
 	return figureCurves(
 		fmt.Sprintf("figure4-%s", app),
 		app, FailureFree,
-		opt.n(5000, 500_000), opt.rounds(200), opt.reps(1), opt.Seed,
+		opt.n(5000, 500_000), opt.rounds(200), opt.reps(1), opt.Seed, opt.Workers,
 	)
 }
 
@@ -188,12 +202,10 @@ func Figure5(opt Options) ([]Figure5Setting, *metrics.Table, error) {
 		Randomized(10, 20),
 		Randomized(20, 40),
 	}
-	table := metrics.NewTable("time (s)", "average tokens")
-	var out []Figure5Setting
-	for _, spec := range settings {
+	results, err := Collect(context.Background(), opt.Workers, len(settings), func(i int) (*Result, error) {
 		cfg := Config{
 			App:         GossipLearning,
-			Strategy:    spec,
+			Strategy:    settings[i],
 			N:           opt.n(500, 5000),
 			Rounds:      opt.rounds(200),
 			Scenario:    FailureFree,
@@ -203,13 +215,21 @@ func Figure5(opt Options) ([]Figure5Setting, *metrics.Table, error) {
 		}
 		res, err := Run(cfg)
 		if err != nil {
-			return nil, nil, fmt.Errorf("figure5: %s: %w", spec.Label(), err)
+			return nil, fmt.Errorf("figure5: %s: %w", settings[i].Label(), err)
 		}
-		table.AddColumn(spec.Label(), res.Tokens)
+		return res, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	table := metrics.NewTable("time (s)", "average tokens")
+	out := make([]Figure5Setting, 0, len(settings))
+	for i, spec := range settings {
+		table.AddColumn(spec.Label(), results[i].Tokens)
 		out = append(out, Figure5Setting{
 			Spec:      spec,
 			Predicted: meanfield.PredictedRandomizedBalance(spec.A, spec.C),
-			Measured:  res.Tokens,
+			Measured:  results[i].Tokens,
 		})
 	}
 	return out, table, nil

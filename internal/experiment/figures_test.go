@@ -129,7 +129,7 @@ func TestFigure5PredictionMatchesMeasurement(t *testing.T) {
 }
 
 func TestFigureCurvesPropagateErrors(t *testing.T) {
-	if _, err := figureCurves("x", GossipLearning, FailureFree, 1, 10, 1, 0); err == nil {
+	if _, err := figureCurves("x", GossipLearning, FailureFree, 1, 10, 1, 0, 1); err == nil {
 		t.Error("invalid network size accepted")
 	}
 }

@@ -44,12 +44,12 @@ func TestStrategySpecBuild(t *testing.T) {
 
 func TestStrategySpecLabels(t *testing.T) {
 	cases := map[string]StrategySpec{
-		"proactive":              Proactive(),
-		"simple(C=7)":            Simple(7),
-		"generalized(A=2,C=9)":   Generalized(2, 9),
-		"randomized(A=3,C=6)":    Randomized(3, 6),
-		"reactive(k=1)":          {Kind: KindReactive},
-		"reactive(k=4)":          {Kind: KindReactive, A: 4},
+		"proactive":            Proactive(),
+		"simple(C=7)":          Simple(7),
+		"generalized(A=2,C=9)": Generalized(2, 9),
+		"randomized(A=3,C=6)":  Randomized(3, 6),
+		"reactive(k=1)":        {Kind: KindReactive},
+		"reactive(k=4)":        {Kind: KindReactive, A: 4},
 	}
 	for want, spec := range cases {
 		if got := spec.Label(); got != want {

@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Accumulator averages repeated runs online: series are folded in one at a
+// time and only the running sums are retained, so averaging R repetitions
+// holds one sampling grid in memory instead of R full series. Series must be
+// added in repetition order; because the accumulator performs the exact same
+// additions in the exact same order as Average, the resulting mean is
+// bit-identical to averaging the retained series after the fact. The zero
+// value is an empty accumulator ready for use. An Accumulator is not safe for
+// concurrent use; callers that fold from multiple goroutines must serialize
+// (see experiment.Runner).
+type Accumulator struct {
+	times []float64
+	sums  []float64
+	runs  int
+}
+
+// Add folds one run into the accumulator. The first series added fixes the
+// sampling grid; subsequent series must be sampled on the same grid.
+func (a *Accumulator) Add(s *Series) error {
+	if a.runs == 0 {
+		a.times = append(a.times[:0], s.Times...)
+		a.sums = append(a.sums[:0], make([]float64, s.Len())...)
+	}
+	if s.Len() != len(a.times) {
+		return fmt.Errorf("metrics: run has %d samples, expected %d", s.Len(), len(a.times))
+	}
+	for i, t := range s.Times {
+		if math.Abs(t-a.times[i]) > 1e-9 {
+			return fmt.Errorf("metrics: sample %d at time %v, expected %v", i, t, a.times[i])
+		}
+	}
+	for i, v := range s.Values {
+		a.sums[i] += v
+	}
+	a.runs++
+	return nil
+}
+
+// Runs returns the number of series folded in so far.
+func (a *Accumulator) Runs() int { return a.runs }
+
+// Mean returns the pointwise mean of the added series. It errors if nothing
+// has been added.
+func (a *Accumulator) Mean() (*Series, error) {
+	if a.runs == 0 {
+		return nil, fmt.Errorf("metrics: no runs to average")
+	}
+	out := &Series{
+		Times:  append([]float64(nil), a.times...),
+		Values: make([]float64, len(a.sums)),
+	}
+	for i, s := range a.sums {
+		out.Values[i] = s / float64(a.runs)
+	}
+	return out, nil
+}
+
+// Average combines repeated runs sampled at identical times into their
+// pointwise mean, as the paper averages 10 independent runs per parameter
+// combination. It returns an error if the runs disagree on sampling times.
+// It is the retained-series convenience wrapper over Accumulator.
+func Average(runs []*Series) (*Series, error) {
+	var acc Accumulator
+	for _, r := range runs {
+		if err := acc.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	return acc.Mean()
+}

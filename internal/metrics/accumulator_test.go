@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/szte-dcs/tokenaccount/internal/rng"
+)
+
+// TestAccumulatorMatchesAverage folds randomized series into an Accumulator
+// and requires the online mean to be bit-identical to the retained-series
+// Average (which the experiment layer relied on before streaming
+// aggregation).
+func TestAccumulatorMatchesAverage(t *testing.T) {
+	src := rng.New(11)
+	runs := make([]*Series, 7)
+	for r := range runs {
+		s := &Series{}
+		for i := 0; i < 100; i++ {
+			s.Add(float64(i)*0.5, src.NormFloat64()*1e3)
+		}
+		runs[r] = s
+	}
+	want, err := Average(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc Accumulator
+	for _, r := range runs {
+		if err := acc.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if acc.Runs() != len(runs) {
+		t.Fatalf("Runs() = %d, want %d", acc.Runs(), len(runs))
+	}
+	got, err := acc.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Times, want.Times) || !reflect.DeepEqual(got.Values, want.Values) {
+		t.Fatal("accumulator mean differs from Average")
+	}
+}
+
+func TestAccumulatorEmptyMean(t *testing.T) {
+	var acc Accumulator
+	if _, err := acc.Mean(); err == nil || !strings.Contains(err.Error(), "no runs") {
+		t.Fatalf("Mean on empty accumulator: err = %v", err)
+	}
+}
+
+func TestAccumulatorRejectsMismatchedGrids(t *testing.T) {
+	a := &Series{Times: []float64{0, 1, 2}, Values: []float64{1, 2, 3}}
+	short := &Series{Times: []float64{0, 1}, Values: []float64{1, 2}}
+	shifted := &Series{Times: []float64{0, 1.5, 2}, Values: []float64{1, 2, 3}}
+
+	var acc Accumulator
+	if err := acc.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Add(short); err == nil || !strings.Contains(err.Error(), "samples") {
+		t.Fatalf("short series: err = %v", err)
+	}
+	if err := acc.Add(shifted); err == nil || !strings.Contains(err.Error(), "expected") {
+		t.Fatalf("shifted series: err = %v", err)
+	}
+	// The failed adds must not have corrupted the accumulator.
+	if err := acc.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := acc.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Runs() != 2 || got.Values[1] != 2 {
+		t.Fatalf("after rejected adds: runs = %d, mean[1] = %v", acc.Runs(), got.Values[1])
+	}
+}

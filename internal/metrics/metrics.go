@@ -154,35 +154,6 @@ func (s *Series) Clone() *Series {
 	}
 }
 
-// Average combines repeated runs sampled at identical times into their
-// pointwise mean, as the paper averages 10 independent runs per parameter
-// combination. It returns an error if the runs disagree on sampling times.
-func Average(runs []*Series) (*Series, error) {
-	if len(runs) == 0 {
-		return nil, fmt.Errorf("metrics: no runs to average")
-	}
-	base := runs[0]
-	out := &Series{
-		Times:  append([]float64(nil), base.Times...),
-		Values: make([]float64, base.Len()),
-	}
-	for _, r := range runs {
-		if r.Len() != base.Len() {
-			return nil, fmt.Errorf("metrics: run has %d samples, expected %d", r.Len(), base.Len())
-		}
-		for i := range r.Times {
-			if math.Abs(r.Times[i]-base.Times[i]) > 1e-9 {
-				return nil, fmt.Errorf("metrics: sample %d at time %v, expected %v", i, r.Times[i], base.Times[i])
-			}
-			out.Values[i] += r.Values[i]
-		}
-	}
-	for i := range out.Values {
-		out.Values[i] /= float64(len(runs))
-	}
-	return out, nil
-}
-
 // Table is a named collection of series sharing a sampling grid, used to
 // print one paper figure (several curves over the same x axis).
 type Table struct {

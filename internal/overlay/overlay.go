@@ -12,6 +12,7 @@ package overlay
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/szte-dcs/tokenaccount/internal/rng"
 )
@@ -224,6 +225,10 @@ func WattsStrogatz(n, k int, beta float64, seed uint64) (*Graph, error) {
 		for v := range adj[i] {
 			out[i] = append(out[i], v)
 		}
+		// Map iteration order is randomized per process; sort so the
+		// adjacency lists (and hence every downstream random neighbour pick)
+		// are a pure function of the seed.
+		sort.Ints(out[i])
 	}
 	return NewFromOut(out)
 }

@@ -297,3 +297,30 @@ func TestQuickInOutEdgeCountsMatch(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestWattsStrogatzDeterministicBySeed regression-tests the adjacency-order
+// fix: the rewired small world must be a pure function of the seed, including
+// the order of each neighbour list (which downstream random peer picks index
+// into). Before the fix the lists were collected from a map, whose iteration
+// order is randomized per process run.
+func TestWattsStrogatzDeterministicBySeed(t *testing.T) {
+	a, err := WattsStrogatz(200, 4, 0.2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := WattsStrogatz(200, 4, 0.2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.N(); i++ {
+		av, bv := a.OutNeighbors(i), b.OutNeighbors(i)
+		if len(av) != len(bv) {
+			t.Fatalf("node %d: degree %d vs %d", i, len(av), len(bv))
+		}
+		for j := range av {
+			if av[j] != bv[j] {
+				t.Fatalf("node %d: neighbour %d is %d vs %d", i, j, av[j], bv[j])
+			}
+		}
+	}
+}

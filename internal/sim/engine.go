@@ -4,10 +4,14 @@
 // transitions, metric probes) are executed in non-decreasing time order, ties
 // broken by scheduling order, so a run is fully reproducible for a given
 // seed.
+//
+// The event queue behind the engine is pluggable (see QueueKind): the default
+// is an allocation-free index-slab heap, with the stdlib container/heap kept
+// as a reference implementation. Every queue implements the same strict
+// (time, seq) total order, so the choice never affects simulation results.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -21,50 +25,43 @@ type event struct {
 	fn   func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
 // concurrent use: all events run on the goroutine that calls Run, RunUntil or
-// Step.
+// Step. The zero value is a valid engine backed by the default queue.
 type Engine struct {
-	heap      eventHeap
+	q         queue
 	now       float64
 	seq       uint64
 	processed uint64
 	stopped   bool
 }
 
-// NewEngine returns an engine with virtual time 0 and an empty event queue.
+// NewEngine returns an engine with virtual time 0 and an empty event queue,
+// backed by the default queue implementation (QueueSlab).
 func NewEngine() *Engine {
-	return &Engine{}
+	return NewEngineWithQueue(QueueSlab)
+}
+
+// NewEngineWithQueue returns an engine backed by the given queue
+// implementation. All kinds produce identical event orderings; see QueueKind.
+func NewEngineWithQueue(kind QueueKind) *Engine {
+	return &Engine{q: newQueue(kind)}
+}
+
+// queue returns the engine's event queue, lazily initializing the default
+// kind so the zero-value Engine stays usable.
+func (e *Engine) queue() queue {
+	if e.q == nil {
+		e.q = newQueue(QueueSlab)
+	}
+	return e.q
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() float64 { return e.now }
 
 // Pending returns the number of scheduled, not-yet-executed events.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int { return e.queue().Len() }
 
 // Processed returns the number of executed events.
 func (e *Engine) Processed() uint64 { return e.processed }
@@ -92,7 +89,7 @@ func (e *Engine) At(t float64, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.heap, event{time: t, seq: e.seq, fn: fn})
+	e.queue().Push(event{time: t, seq: e.seq, fn: fn})
 }
 
 // Every schedules fn to run now+phase, now+phase+interval, ... until the
@@ -117,10 +114,11 @@ func (e *Engine) Every(phase, interval float64, fn func() bool) {
 // Step executes the single earliest pending event and reports whether an
 // event was executed.
 func (e *Engine) Step() bool {
-	if len(e.heap) == 0 || e.stopped {
+	q := e.queue()
+	if q.Len() == 0 || e.stopped {
 		return false
 	}
-	ev := heap.Pop(&e.heap).(event)
+	ev := q.Pop()
 	e.now = ev.time
 	e.processed++
 	ev.fn()
@@ -132,8 +130,9 @@ func (e *Engine) Step() bool {
 // is advanced to the horizon on return (unless stopped earlier), so repeated
 // RunUntil calls with increasing horizons behave like one long run.
 func (e *Engine) RunUntil(horizon float64) {
-	for len(e.heap) > 0 && !e.stopped {
-		if e.heap[0].time > horizon {
+	q := e.queue()
+	for q.Len() > 0 && !e.stopped {
+		if q.Peek().time > horizon {
 			break
 		}
 		e.Step()

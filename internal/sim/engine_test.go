@@ -191,3 +191,20 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 		e.Run()
 	}
 }
+
+// TestZeroValueEngine guards the zero value's usability: sim.Engine{} must
+// schedule and run events exactly like NewEngine() (the queue is initialized
+// lazily).
+func TestZeroValueEngine(t *testing.T) {
+	var e Engine
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d on zero-value engine", e.Pending())
+	}
+	var got []int
+	e.Schedule(2, func() { got = append(got, 2) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("events ran as %v", got)
+	}
+}

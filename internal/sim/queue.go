@@ -1,0 +1,188 @@
+package sim
+
+import "container/heap"
+
+// queue is the priority-queue contract the engine schedules through: a
+// min-queue over (time, seq) with strict total order (seq is unique), so any
+// correct implementation pops events in exactly the same order and the
+// simulation stays deterministic regardless of the queue chosen.
+type queue interface {
+	// Len returns the number of queued events.
+	Len() int
+	// Push inserts an event.
+	Push(ev event)
+	// Peek returns the minimum event without removing it. It must only be
+	// called when Len() > 0.
+	Peek() event
+	// Pop removes and returns the minimum event. It must only be called when
+	// Len() > 0.
+	Pop() event
+}
+
+// QueueKind selects the event queue implementation backing an Engine. All
+// kinds implement the same (time, seq) total order, so they are
+// interchangeable without affecting results; they differ only in constant
+// factors and allocation behaviour (see DESIGN.md).
+type QueueKind int
+
+const (
+	// QueueSlab is the default: a 4-ary implicit heap of indices into a
+	// reusable event slab. Events are never boxed into interfaces and popped
+	// slots are recycled through a free list, so the steady-state hot path
+	// (Schedule/Step) allocates nothing.
+	QueueSlab QueueKind = iota
+	// QueueHeap is the reference implementation on container/heap. Each
+	// Push/Pop boxes the event into an interface value, costing one heap
+	// allocation per operation; it is kept for differential testing and as
+	// the baseline of the scheduler benchmarks.
+	QueueHeap
+)
+
+// String returns the queue kind name.
+func (k QueueKind) String() string {
+	switch k {
+	case QueueSlab:
+		return "slab"
+	case QueueHeap:
+		return "container-heap"
+	default:
+		return "queue(?)"
+	}
+}
+
+func newQueue(kind QueueKind) queue {
+	switch kind {
+	case QueueHeap:
+		return &heapQueue{}
+	default:
+		return &slabQueue{}
+	}
+}
+
+// slabQueue is a low-allocation event queue: the events live in a slab that
+// is recycled through a free list, and the heap itself is a 4-ary implicit
+// heap of int32 slab indices. Sift operations therefore move 4-byte indices
+// rather than 24-byte event structs, and nothing escapes to the garbage
+// collector on the Schedule/Step hot path once the slab has grown to the
+// high-water mark of pending events.
+type slabQueue struct {
+	slab []event
+	free []int32
+	heap []int32
+}
+
+func (q *slabQueue) Len() int { return len(q.heap) }
+
+func (q *slabQueue) less(a, b int32) bool {
+	ea, eb := &q.slab[a], &q.slab[b]
+	if ea.time != eb.time {
+		return ea.time < eb.time
+	}
+	return ea.seq < eb.seq
+}
+
+func (q *slabQueue) Push(ev event) {
+	var idx int32
+	if n := len(q.free); n > 0 {
+		idx = q.free[n-1]
+		q.free = q.free[:n-1]
+	} else {
+		idx = int32(len(q.slab))
+		q.slab = append(q.slab, event{})
+	}
+	q.slab[idx] = ev
+	q.heap = append(q.heap, idx)
+	q.siftUp(len(q.heap) - 1)
+}
+
+func (q *slabQueue) Peek() event { return q.slab[q.heap[0]] }
+
+func (q *slabQueue) Pop() event {
+	idx := q.heap[0]
+	ev := q.slab[idx]
+	q.slab[idx].fn = nil // release the closure to the GC while the slot waits in the free list
+	q.free = append(q.free, idx)
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.siftDown(0)
+	}
+	return ev
+}
+
+func (q *slabQueue) siftUp(i int) {
+	h := q.heap
+	node := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !q.less(node, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = node
+}
+
+func (q *slabQueue) siftDown(i int) {
+	h := q.heap
+	n := len(h)
+	node := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if q.less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !q.less(h[best], node) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = node
+}
+
+// heapQueue adapts the stdlib container/heap to the queue interface.
+type heapQueue struct {
+	h eventHeap
+}
+
+func (q *heapQueue) Len() int      { return q.h.Len() }
+func (q *heapQueue) Push(ev event) { heap.Push(&q.h, ev) }
+func (q *heapQueue) Peek() event   { return q.h[0] }
+func (q *heapQueue) Pop() event    { return heap.Pop(&q.h).(event) }
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return e
+}

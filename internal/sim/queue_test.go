@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/szte-dcs/tokenaccount/internal/rng"
+)
+
+// TestQueueKindsAgree drives both queue implementations with an identical
+// randomized workload of interleaved pushes and pops and requires them to
+// produce the exact same event order, which is what makes the queue choice
+// invisible to simulation results.
+func TestQueueKindsAgree(t *testing.T) {
+	slab, ref := newQueue(QueueSlab), newQueue(QueueHeap)
+	src := rng.New(42)
+	var seq uint64
+	for op := 0; op < 20000; op++ {
+		if slab.Len() != ref.Len() {
+			t.Fatalf("op %d: lengths diverged: slab %d, ref %d", op, slab.Len(), ref.Len())
+		}
+		if slab.Len() == 0 || src.Float64() < 0.55 {
+			seq++
+			ev := event{time: src.Float64() * 100, seq: seq, fn: func() {}}
+			// Duplicate times exercise the seq tie-break.
+			if src.Float64() < 0.2 {
+				ev.time = float64(src.Intn(10))
+			}
+			slab.Push(ev)
+			ref.Push(ev)
+			continue
+		}
+		if src.Float64() < 0.3 {
+			a, b := slab.Peek(), ref.Peek()
+			if a.time != b.time || a.seq != b.seq {
+				t.Fatalf("op %d: Peek diverged: slab (%v, %d), ref (%v, %d)", op, a.time, a.seq, b.time, b.seq)
+			}
+		}
+		a, b := slab.Pop(), ref.Pop()
+		if a.time != b.time || a.seq != b.seq {
+			t.Fatalf("op %d: Pop diverged: slab (%v, %d), ref (%v, %d)", op, a.time, a.seq, b.time, b.seq)
+		}
+	}
+	for slab.Len() > 0 {
+		a, b := slab.Pop(), ref.Pop()
+		if a.time != b.time || a.seq != b.seq {
+			t.Fatalf("drain: Pop diverged: slab (%v, %d), ref (%v, %d)", a.time, a.seq, b.time, b.seq)
+		}
+	}
+	if ref.Len() != 0 {
+		t.Fatalf("reference queue still holds %d events", ref.Len())
+	}
+}
+
+// TestQueuePopsSortedOrder checks the (time, seq) total order directly.
+func TestQueuePopsSortedOrder(t *testing.T) {
+	for _, kind := range []QueueKind{QueueSlab, QueueHeap} {
+		t.Run(kind.String(), func(t *testing.T) {
+			q := newQueue(kind)
+			src := rng.New(7)
+			for i := 0; i < 5000; i++ {
+				q.Push(event{time: float64(src.Intn(50)), seq: uint64(i), fn: func() {}})
+			}
+			prev := event{time: -1}
+			for q.Len() > 0 {
+				ev := q.Pop()
+				if ev.time < prev.time || (ev.time == prev.time && ev.seq < prev.seq) {
+					t.Fatalf("event (%v, %d) popped after (%v, %d)", ev.time, ev.seq, prev.time, prev.seq)
+				}
+				prev = ev
+			}
+		})
+	}
+}
+
+// TestEnginesAgreeAcrossQueues runs the same self-scheduling workload on
+// engines with different queues and compares the executed event traces.
+func TestEnginesAgreeAcrossQueues(t *testing.T) {
+	trace := func(kind QueueKind) []int {
+		e := NewEngineWithQueue(kind)
+		src := rng.New(3)
+		var got []int
+		id := 0
+		var spawn func()
+		spawn = func() {
+			me := id
+			id++
+			got = append(got, me)
+			if e.Processed() < 2000 {
+				e.Schedule(src.Float64()*10, spawn)
+				if src.Float64() < 0.4 {
+					e.Schedule(src.Float64()*5, spawn)
+				}
+			}
+		}
+		for i := 0; i < 10; i++ {
+			e.Schedule(src.Float64(), spawn)
+		}
+		e.RunUntil(1e6)
+		return got
+	}
+	slab, ref := trace(QueueSlab), trace(QueueHeap)
+	if len(slab) != len(ref) {
+		t.Fatalf("trace lengths differ: slab %d, ref %d", len(slab), len(ref))
+	}
+	for i := range slab {
+		if slab[i] != ref[i] {
+			t.Fatalf("traces diverge at event %d: slab %d, ref %d", i, slab[i], ref[i])
+		}
+	}
+}
+
+// TestSlabQueueRecyclesSlots checks that the slab's high-water mark tracks
+// pending events rather than total throughput: pushing and popping many more
+// events than are ever simultaneously pending must not grow the slab.
+func TestSlabQueueRecyclesSlots(t *testing.T) {
+	q := &slabQueue{}
+	for i := 0; i < 100; i++ {
+		q.Push(event{time: float64(i), seq: uint64(i), fn: func() {}})
+	}
+	for round := 0; round < 1000; round++ {
+		ev := q.Pop()
+		ev.time += 100
+		ev.seq += 100
+		q.Push(ev)
+	}
+	if len(q.slab) != 100 {
+		t.Fatalf("slab grew to %d slots for 100 pending events", len(q.slab))
+	}
+}
