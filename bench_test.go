@@ -12,20 +12,20 @@ package tokenaccount_test
 import (
 	"context"
 	"fmt"
+	"math/rand/v2"
 	"runtime"
 	"testing"
 
-	"github.com/szte-dcs/tokenaccount/internal/core"
-	"github.com/szte-dcs/tokenaccount/internal/experiment"
-	"github.com/szte-dcs/tokenaccount/internal/meanfield"
-	"github.com/szte-dcs/tokenaccount/internal/overlay"
-	"github.com/szte-dcs/tokenaccount/internal/protocol"
-	"github.com/szte-dcs/tokenaccount/internal/rng"
-	"github.com/szte-dcs/tokenaccount/internal/sim"
-	"github.com/szte-dcs/tokenaccount/internal/simnet"
-	"github.com/szte-dcs/tokenaccount/internal/trace"
+	"github.com/szte-dcs/tokenaccount/core"
+	"github.com/szte-dcs/tokenaccount/experiment"
+	"github.com/szte-dcs/tokenaccount/meanfield"
+	"github.com/szte-dcs/tokenaccount/overlay"
+	"github.com/szte-dcs/tokenaccount/protocol"
+	"github.com/szte-dcs/tokenaccount/sim"
+	"github.com/szte-dcs/tokenaccount/simnet"
+	"github.com/szte-dcs/tokenaccount/trace"
 
-	"github.com/szte-dcs/tokenaccount/internal/apps/gossiplearning"
+	"github.com/szte-dcs/tokenaccount/apps/gossiplearning"
 )
 
 // benchOptions returns the scaled-down figure dimensions used by the
@@ -312,13 +312,13 @@ func BenchmarkStrategyEvaluation(b *testing.B) {
 		core.MustGeneralized(5, 10),
 		core.MustRandomized(5, 10),
 	}
-	src := rng.New(1)
+	src := rand.New(rand.NewPCG(1, 1))
 	b.ReportAllocs()
 	b.ResetTimer()
 	sum := 0.0
 	for i := 0; i < b.N; i++ {
 		s := strategies[i%len(strategies)]
-		a := src.Intn(12)
+		a := src.IntN(12)
 		sum += s.Proactive(a) + s.Reactive(a, i%2 == 0)
 	}
 	_ = sum
@@ -410,7 +410,7 @@ func BenchmarkSchedulerQueues(b *testing.B) {
 		b.Run(kind.String(), func(b *testing.B) {
 			b.ReportAllocs()
 			e := sim.NewEngineWithQueue(kind)
-			src := rng.New(1)
+			src := rand.New(rand.NewPCG(1, 1))
 			var hold func()
 			hold = func() { e.Schedule(src.Float64()*100, hold) }
 			for i := 0; i < pending; i++ {

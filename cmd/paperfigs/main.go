@@ -21,8 +21,8 @@ import (
 	"io"
 	"os"
 
-	"github.com/szte-dcs/tokenaccount/internal/experiment"
-	"github.com/szte-dcs/tokenaccount/internal/trace"
+	"github.com/szte-dcs/tokenaccount/experiment"
+	"github.com/szte-dcs/tokenaccount/trace"
 )
 
 func main() {
@@ -100,7 +100,7 @@ func writeFigure(w io.Writer, title string, res *experiment.FigureResult) error 
 }
 
 func figure2(w io.Writer, opt experiment.Options) error {
-	for _, app := range []experiment.Application{
+	for _, app := range []experiment.AppDriver{
 		experiment.GossipLearning, experiment.PushGossip, experiment.ChaoticIteration,
 	} {
 		res, err := experiment.Figure2(app, opt)
@@ -115,7 +115,7 @@ func figure2(w io.Writer, opt experiment.Options) error {
 }
 
 func figure3(w io.Writer, opt experiment.Options) error {
-	for _, app := range []experiment.Application{experiment.GossipLearning, experiment.PushGossip} {
+	for _, app := range []experiment.AppDriver{experiment.GossipLearning, experiment.PushGossip} {
 		res, err := experiment.Figure3(app, opt)
 		if err != nil {
 			return err
@@ -128,7 +128,7 @@ func figure3(w io.Writer, opt experiment.Options) error {
 }
 
 func figure4(w io.Writer, opt experiment.Options) error {
-	for _, app := range []experiment.Application{experiment.GossipLearning, experiment.PushGossip} {
+	for _, app := range []experiment.AppDriver{experiment.GossipLearning, experiment.PushGossip} {
 		res, err := experiment.Figure4(app, opt)
 		if err != nil {
 			return err

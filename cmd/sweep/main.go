@@ -12,8 +12,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
-	"github.com/szte-dcs/tokenaccount/internal/experiment"
+	"github.com/szte-dcs/tokenaccount/experiment"
+
+	// Registered scenarios beyond the paper built-ins.
+	_ "github.com/szte-dcs/tokenaccount/scenarios/crashburst"
 )
 
 func main() {
@@ -23,12 +27,29 @@ func main() {
 	}
 }
 
+// sweepableKinds lists the registered strategy families with a parameter
+// grid worth exploring: the pure reactive reference has none, and the
+// proactive baseline's one-point grid is already printed as the anchor row
+// of every sweep.
+func sweepableKinds() []string {
+	var kinds []string
+	for _, kind := range experiment.StrategyKinds() {
+		if kind == string(experiment.KindProactive) {
+			continue
+		}
+		if len(experiment.ParameterGrid(experiment.StrategyKind(kind))) > 0 {
+			kinds = append(kinds, kind)
+		}
+	}
+	return kinds
+}
+
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		appName      = fs.String("app", "gossip-learning", "application to sweep")
-		kindName     = fs.String("kind", "randomized", "strategy family: simple, generalized or randomized")
-		scenarioName = fs.String("scenario", "failure-free", "failure scenario")
+		appName      = fs.String("app", "gossip-learning", "application to sweep: "+strings.Join(experiment.Applications(), ", "))
+		kindName     = fs.String("kind", "randomized", "strategy family: "+strings.Join(sweepableKinds(), ", "))
+		scenarioName = fs.String("scenario", "failure-free", "failure scenario: "+strings.Join(experiment.Scenarios(), ", "))
 		n            = fs.Int("n", 500, "number of nodes")
 		rounds       = fs.Int("rounds", 200, "number of proactive periods")
 		reps         = fs.Int("reps", 1, "repetitions per setting")
@@ -54,7 +75,7 @@ func run(args []string, w io.Writer) error {
 	// The proactive baseline anchors the comparison.
 	specs := append([]experiment.StrategySpec{experiment.Proactive()}, grid...)
 	fmt.Fprintf(w, "# %s on %s, %s, N=%d, %d rounds, %d repetition(s)\n",
-		kind, app, scenario, *n, *rounds, *reps)
+		kind, experiment.DriverLabel(app), experiment.DriverLabel(scenario), *n, *rounds, *reps)
 	fmt.Fprintln(w, "strategy\tmsgs_per_node_per_round\tsteady_state_metric\tfinal_metric")
 	// Grid settings are embarrassingly parallel: simulate them on a bounded
 	// worker pool and print the rows in grid order so the output is identical

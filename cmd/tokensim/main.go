@@ -15,9 +15,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
-	"github.com/szte-dcs/tokenaccount/internal/experiment"
-	"github.com/szte-dcs/tokenaccount/internal/metrics"
+	"github.com/szte-dcs/tokenaccount/experiment"
+	"github.com/szte-dcs/tokenaccount/metrics"
+
+	// Registered scenarios beyond the paper built-ins. Adding a workload is
+	// one blank import here plus a RegisterScenario call in its package — the
+	// experiment pipeline itself never changes.
+	_ "github.com/szte-dcs/tokenaccount/scenarios/crashburst"
 )
 
 func main() {
@@ -30,9 +36,9 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("tokensim", flag.ContinueOnError)
 	var (
-		appName      = fs.String("app", "gossip-learning", "application: gossip-learning, push-gossip or chaotic-iteration")
-		strategyName = fs.String("strategy", "randomized:5:10", "strategy: proactive, simple:C, generalized:A:C, randomized:A:C")
-		scenarioName = fs.String("scenario", "failure-free", "scenario: failure-free or smartphone-trace")
+		appName      = fs.String("app", "gossip-learning", "application: "+strings.Join(experiment.Applications(), ", "))
+		strategyName = fs.String("strategy", "randomized:5:10", "strategy kind (with :params, e.g. simple:C, randomized:A:C): "+strings.Join(experiment.StrategyKinds(), ", "))
+		scenarioName = fs.String("scenario", "failure-free", "scenario: "+strings.Join(experiment.Scenarios(), ", "))
 		n            = fs.Int("n", 1000, "number of nodes")
 		rounds       = fs.Int("rounds", 200, "number of proactive periods")
 		reps         = fs.Int("reps", 1, "independent repetitions to average")

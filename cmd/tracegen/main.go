@@ -14,7 +14,7 @@ import (
 	"io"
 	"os"
 
-	"github.com/szte-dcs/tokenaccount/internal/trace"
+	"github.com/szte-dcs/tokenaccount/trace"
 )
 
 func main() {

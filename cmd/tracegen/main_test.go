@@ -6,7 +6,7 @@ import (
 	"strings"
 	"testing"
 
-	"github.com/szte-dcs/tokenaccount/internal/trace"
+	"github.com/szte-dcs/tokenaccount/trace"
 )
 
 func TestStatsOutput(t *testing.T) {

@@ -5,22 +5,31 @@
 // combines the strict rate limiting of proactive (periodic) gossip with the
 // low latency of reactive (event-driven) gossip.
 //
-// The implementation lives in the internal packages:
+// The implementation is an importable library; the stable packages live at
+// the top level of the module:
 //
-//   - internal/core: the token account framework and the published strategy
+//   - core: the token account framework and the published strategy
 //     implementations (simple, generalized, randomized, plus the proactive
 //     and reactive extremes);
-//   - internal/protocol: the transport-agnostic protocol node (Algorithm 4);
-//   - internal/simnet and internal/experiment: the discrete-event simulation
-//     substrate and the reproduction of every figure of the paper's
-//     evaluation;
-//   - internal/live and internal/transport: a real-time runtime (goroutines,
-//     tickers, in-memory or TCP transports) that turns the framework into a
+//   - protocol: the transport-agnostic protocol node (Algorithm 4);
+//   - simnet and experiment: the discrete-event simulation substrate and the
+//     reproduction of every figure of the paper's evaluation. The experiment
+//     layer is a registry-based plugin architecture: applications, failure
+//     scenarios and strategy families are drivers registered by name
+//     (experiment.RegisterApplication, RegisterScenario, RegisterStrategy),
+//     and the paper's workloads are self-registering built-ins;
+//   - scenarios/crashburst: a correlated-failure scenario added purely
+//     through the registry, as the model for external extensions;
+//   - live and transport: a real-time runtime (goroutines, tickers,
+//     in-memory or TCP transports) that turns the framework into a
 //     deployable service;
-//   - internal/apps/...: the three demonstrator applications (gossip
-//     learning, push gossip, chaotic power iteration).
+//   - apps/...: the three demonstrator applications (gossip learning, push
+//     gossip, chaotic power iteration).
+//
+// Only private helpers with no stable contract remain under internal/. The
+// examples/ directory compiles against the public packages exclusively.
 //
 // The benchmarks in bench_test.go regenerate scaled-down versions of every
-// figure; the cmd/paperfigs command prints the full tables. See README.md,
-// DESIGN.md and EXPERIMENTS.md for the complete map.
+// figure; the cmd/paperfigs command prints the full tables. See README.md and
+// DESIGN.md for the complete map.
 package tokenaccount

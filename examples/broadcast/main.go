@@ -12,7 +12,7 @@ import (
 	"fmt"
 	"log"
 
-	"github.com/szte-dcs/tokenaccount/internal/experiment"
+	"github.com/szte-dcs/tokenaccount/experiment"
 )
 
 func main() {
@@ -27,7 +27,7 @@ func main() {
 		experiment.Randomized(5, 10),
 	}
 
-	for _, scenario := range []experiment.Scenario{experiment.FailureFree, experiment.SmartphoneTrace} {
+	for _, scenario := range []experiment.ScenarioDriver{experiment.FailureFree, experiment.SmartphoneTrace} {
 		fmt.Printf("=== push gossip, %s, N=%d, %d rounds ===\n", scenario, n, rounds)
 		fmt.Printf("%-28s %22s %18s\n", "strategy", "msgs/node/round", "avg update lag")
 		var baseline float64

@@ -14,11 +14,11 @@ import (
 	"fmt"
 	"log"
 
-	"github.com/szte-dcs/tokenaccount/internal/apps/gossiplearning"
-	"github.com/szte-dcs/tokenaccount/internal/core"
-	"github.com/szte-dcs/tokenaccount/internal/overlay"
-	"github.com/szte-dcs/tokenaccount/internal/protocol"
-	"github.com/szte-dcs/tokenaccount/internal/simnet"
+	"github.com/szte-dcs/tokenaccount/apps/gossiplearning"
+	"github.com/szte-dcs/tokenaccount/core"
+	"github.com/szte-dcs/tokenaccount/overlay"
+	"github.com/szte-dcs/tokenaccount/protocol"
+	"github.com/szte-dcs/tokenaccount/simnet"
 )
 
 func main() {

@@ -13,8 +13,8 @@ import (
 	"log"
 	"os"
 
-	"github.com/szte-dcs/tokenaccount/internal/experiment"
-	"github.com/szte-dcs/tokenaccount/internal/metrics"
+	"github.com/szte-dcs/tokenaccount/experiment"
+	"github.com/szte-dcs/tokenaccount/metrics"
 )
 
 func main() {

@@ -17,10 +17,10 @@ import (
 	"log"
 	"time"
 
-	"github.com/szte-dcs/tokenaccount/internal/apps/pushgossip"
-	"github.com/szte-dcs/tokenaccount/internal/core"
-	"github.com/szte-dcs/tokenaccount/internal/live"
-	"github.com/szte-dcs/tokenaccount/internal/protocol"
+	"github.com/szte-dcs/tokenaccount/apps/pushgossip"
+	"github.com/szte-dcs/tokenaccount/core"
+	"github.com/szte-dcs/tokenaccount/live"
+	"github.com/szte-dcs/tokenaccount/protocol"
 )
 
 func main() {

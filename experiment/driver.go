@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"github.com/szte-dcs/tokenaccount/metrics"
+	"github.com/szte-dcs/tokenaccount/overlay"
+	"github.com/szte-dcs/tokenaccount/protocol"
+	"github.com/szte-dcs/tokenaccount/simnet"
+	"github.com/szte-dcs/tokenaccount/trace"
+)
+
+// AppDriver describes one workload: it builds the overlay the application
+// runs on, constructs per-run state, and samples the application performance
+// metric. The three paper applications are built-in drivers registered under
+// their names ("gossip-learning", "push-gossip", "chaotic-iteration");
+// external workloads plug in through RegisterApplication without touching the
+// generic run pipeline.
+//
+// A driver may additionally implement ConfigValidator and MetricFinisher to
+// participate in config validation and metric post-processing.
+type AppDriver interface {
+	// Name is the canonical registry name, used by ParseApplication and in
+	// Config.Label. It must be stable and non-empty.
+	Name() string
+	// MetricLabel is the y-axis label of the application metric, used by the
+	// figure tables.
+	MetricLabel() string
+	// BuildOverlay constructs the communication overlay for one repetition.
+	// Drivers should derive any randomness from seed so repetitions stay
+	// reproducible.
+	BuildOverlay(cfg Config, seed uint64) (*overlay.Graph, error)
+	// NewRun constructs the per-repetition application state. It is called
+	// once per repetition, after the overlay is built and before the network
+	// is assembled.
+	NewRun(cfg Config, graph *overlay.Graph) (AppRun, error)
+}
+
+// AppRun is the state of one repetition of an application. The run pipeline
+// asks it for one protocol.Application per node and one metric sample per
+// sampling instant.
+//
+// A run may additionally implement RunStarter (to install periodic events
+// such as the push gossip update injection) and RejoinHandler (to react to
+// nodes coming back online under churn, such as the push gossip pull).
+type AppRun interface {
+	// NewApp returns the application instance of the given node. It is called
+	// exactly once per node, in node order, while the network is assembled.
+	NewApp(node int) protocol.Application
+	// Sample returns the application metric at virtual time t.
+	Sample(t float64, rc *RunContext) float64
+}
+
+// ScenarioDriver supplies the failure model of an experiment: the
+// availability trace that takes nodes on- and offline (nil for failure-free
+// operation) and, through the trace, the lifecycle events — most importantly
+// the rejoin transitions that feed RejoinHandler hooks such as the push
+// gossip pull. The two paper scenarios are built-ins; external scenarios
+// plug in through RegisterScenario.
+type ScenarioDriver interface {
+	// Name is the canonical registry name, used by ParseScenario and in
+	// Config.Label.
+	Name() string
+	// Churny reports whether the scenario ever takes nodes offline. Metrics
+	// are sampled over online nodes only in churny scenarios, and
+	// applications whose metric is undefined under churn (chaotic iteration)
+	// reject churny scenarios at validation time.
+	Churny() bool
+	// BuildTrace constructs the availability trace of one repetition, or
+	// returns nil for always-on operation. The trace must cover at least
+	// cfg.N nodes and cfg.Duration() seconds.
+	BuildTrace(cfg Config, seed uint64) (*trace.Trace, error)
+}
+
+// RunContext carries the assembled pieces of one repetition to the AppRun
+// hooks (Start, Sample, OnRejoin). Config, Seed, Graph, Trace and OnlineOnly
+// are valid in every hook; Net and Online are set once the network exists,
+// i.e. in everything except NewApp (which runs while the network is being
+// assembled and receives no context).
+type RunContext struct {
+	// Config is the fully defaulted experiment configuration.
+	Config Config
+	// Seed is the seed of this repetition (Config.Seed + repetition index).
+	Seed uint64
+	// Graph is the overlay the application runs on.
+	Graph *overlay.Graph
+	// Trace is the availability trace, nil in failure-free scenarios.
+	Trace *trace.Trace
+	// Net is the assembled simulated network.
+	Net *simnet.Network
+	// Online reports whether a node is currently online.
+	Online func(node int) bool
+	// OnlineOnly reports whether metrics should be computed over online
+	// nodes only (true exactly when the scenario supplied a trace).
+	OnlineOnly bool
+}
+
+// ConfigValidator is an optional AppDriver capability: Validate vetoes
+// configurations the application cannot run (for example chaotic iteration
+// under a churny scenario).
+type ConfigValidator interface {
+	Validate(cfg Config) error
+}
+
+// RunStarter is an optional AppRun capability: Start is invoked after the
+// network is assembled and before the first event executes, so the run can
+// install periodic events (e.g. the push gossip update injection).
+type RunStarter interface {
+	Start(rc *RunContext)
+}
+
+// RejoinHandler is an optional AppRun capability: OnRejoin is invoked
+// whenever a node transitions from offline to online. It is only wired up
+// when the scenario supplies an availability trace.
+type RejoinHandler interface {
+	OnRejoin(net *simnet.Network, node int)
+}
+
+// MetricFinisher is an optional AppDriver capability: FinishMetric
+// post-processes the repetition-averaged metric series (e.g. the push gossip
+// smoothing window) before it is returned in Result.Metric.
+type MetricFinisher interface {
+	FinishMetric(cfg Config, avg *metrics.Series) *metrics.Series
+}

@@ -1,0 +1,182 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The experiment package keeps three name-keyed registries — applications,
+// scenarios and strategy families — so that new workloads plug in additively:
+// registering a driver makes it reachable from ParseApplication /
+// ParseScenario / ParseStrategySpec (and therefore from the CLI tools)
+// without any change to the generic run pipeline. The paper's three
+// applications, two scenarios and five strategy kinds are registered by this
+// package's init functions through the same public entry points.
+
+// registry is a concurrency-safe name → value map with alias support and
+// deterministic listing order.
+type registry[T any] struct {
+	what string // "application", "scenario", "strategy kind" — for error messages
+
+	mu     sync.RWMutex
+	byName map[string]T // canonical names and aliases
+	names  []string     // canonical names only
+}
+
+func newRegistry[T any](what string) *registry[T] {
+	return &registry[T]{what: what, byName: make(map[string]T)}
+}
+
+func (r *registry[T]) register(name string, v T, aliases ...string) error {
+	if name == "" {
+		return fmt.Errorf("experiment: cannot register %s with an empty name", r.what)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	keys := append([]string{name}, aliases...)
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		if k == "" {
+			return fmt.Errorf("experiment: cannot register %s %q with an empty alias", r.what, name)
+		}
+		if _, dup := r.byName[k]; dup || seen[k] {
+			return fmt.Errorf("experiment: %s %q already registered", r.what, k)
+		}
+		seen[k] = true
+	}
+	for _, k := range keys {
+		r.byName[k] = v
+	}
+	r.names = append(r.names, name)
+	sort.Strings(r.names)
+	return nil
+}
+
+func (r *registry[T]) lookup(name string) (T, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.byName[name]
+	return v, ok
+}
+
+// list returns the canonical (alias-free) names in sorted order.
+func (r *registry[T]) list() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.names))
+	copy(out, r.names)
+	return out
+}
+
+var (
+	applications = newRegistry[AppDriver]("application")
+	scenarios    = newRegistry[ScenarioFactory]("scenario")
+	strategies   = newRegistry[StrategyDriver]("strategy kind")
+)
+
+// RegisterApplication adds an application driver to the registry under
+// driver.Name() and any aliases. It fails if any of the names is already
+// taken.
+func RegisterApplication(driver AppDriver, aliases ...string) error {
+	return applications.register(driver.Name(), driver, aliases...)
+}
+
+// MustRegisterApplication is RegisterApplication, panicking on error. It is
+// meant for init-time registration of package-level drivers.
+func MustRegisterApplication(driver AppDriver, aliases ...string) {
+	if err := RegisterApplication(driver, aliases...); err != nil {
+		panic(err)
+	}
+}
+
+// ParseApplication resolves a registered application name or alias.
+func ParseApplication(name string) (AppDriver, error) {
+	if d, ok := applications.lookup(name); ok {
+		return d, nil
+	}
+	return nil, fmt.Errorf("experiment: unknown application %q (registered: %s)",
+		name, strings.Join(Applications(), ", "))
+}
+
+// Applications returns the canonical names of all registered applications in
+// sorted order.
+func Applications() []string { return applications.list() }
+
+// ScenarioFactory builds a ScenarioDriver from the colon-separated
+// parameters following the scenario name in a spec string such as
+// "crash-burst:0.3". Parameter-free scenarios must reject a non-empty args
+// slice.
+type ScenarioFactory func(args []string) (ScenarioDriver, error)
+
+// RegisterScenario adds a scenario factory to the registry. The factory is
+// invoked by ParseScenario with the parameters following the name, so a
+// single registered name can serve a parameterized family of scenarios. It
+// fails if any of the names is already taken.
+func RegisterScenario(name string, factory ScenarioFactory, aliases ...string) error {
+	return scenarios.register(name, factory, aliases...)
+}
+
+// MustRegisterScenario is RegisterScenario, panicking on error.
+func MustRegisterScenario(name string, factory ScenarioFactory, aliases ...string) {
+	if err := RegisterScenario(name, factory, aliases...); err != nil {
+		panic(err)
+	}
+}
+
+// RegisterScenarioDriver registers a fixed, parameter-free scenario driver
+// under driver.Name(). It is shorthand for RegisterScenario with a factory
+// that rejects parameters.
+func RegisterScenarioDriver(driver ScenarioDriver, aliases ...string) error {
+	name := driver.Name()
+	return RegisterScenario(name, func(args []string) (ScenarioDriver, error) {
+		if len(args) > 0 {
+			return nil, fmt.Errorf("experiment: scenario %q takes no parameters, got %q",
+				name, strings.Join(args, ":"))
+		}
+		return driver, nil
+	}, aliases...)
+}
+
+// ParseScenario resolves a scenario spec string of the form
+// "name[:param[:param...]]" against the registry: the name (or alias)
+// selects the factory, which receives the remaining parts.
+func ParseScenario(spec string) (ScenarioDriver, error) {
+	parts := strings.Split(strings.TrimSpace(spec), ":")
+	if f, ok := scenarios.lookup(parts[0]); ok {
+		return f(parts[1:])
+	}
+	return nil, fmt.Errorf("experiment: unknown scenario %q (registered: %s)",
+		spec, strings.Join(Scenarios(), ", "))
+}
+
+// Scenarios returns the canonical names of all registered scenarios in
+// sorted order.
+func Scenarios() []string { return scenarios.list() }
+
+// RegisterStrategy adds a strategy family driver to the registry under
+// driver.Kind() and any aliases. It fails if any of the names is already
+// taken.
+func RegisterStrategy(driver StrategyDriver, aliases ...string) error {
+	return strategies.register(string(driver.Kind()), driver, aliases...)
+}
+
+// MustRegisterStrategy is RegisterStrategy, panicking on error.
+func MustRegisterStrategy(driver StrategyDriver, aliases ...string) {
+	if err := RegisterStrategy(driver, aliases...); err != nil {
+		panic(err)
+	}
+}
+
+// StrategyKinds returns the canonical names of all registered strategy
+// families in sorted order.
+func StrategyKinds() []string { return strategies.list() }
+
+func strategyDriver(kind StrategyKind) (StrategyDriver, error) {
+	if d, ok := strategies.lookup(string(kind)); ok {
+		return d, nil
+	}
+	return nil, fmt.Errorf("experiment: unknown strategy kind %q (registered: %s)",
+		kind, strings.Join(StrategyKinds(), ", "))
+}

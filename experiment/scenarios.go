@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"github.com/szte-dcs/tokenaccount/internal/rng"
+	"github.com/szte-dcs/tokenaccount/trace"
+)
+
+// The failure scenarios of §4.1, as self-registering drivers. They are
+// ordinary ScenarioDriver values: comparing against them (cfg.Scenario ==
+// experiment.FailureFree) identifies the built-ins.
+var (
+	// FailureFree keeps every node online for the whole run.
+	FailureFree ScenarioDriver = failureFreeScenario{}
+	// SmartphoneTrace drives availability from a (synthetic) smartphone
+	// churn trace with a diurnal pattern.
+	SmartphoneTrace ScenarioDriver = smartphoneTraceScenario{}
+)
+
+func init() {
+	MustRegisterScenarioDriver(FailureFree, "ff")
+	MustRegisterScenarioDriver(SmartphoneTrace, "trace", "churn")
+}
+
+// MustRegisterScenarioDriver is RegisterScenarioDriver, panicking on error.
+func MustRegisterScenarioDriver(driver ScenarioDriver, aliases ...string) {
+	if err := RegisterScenarioDriver(driver, aliases...); err != nil {
+		panic(err)
+	}
+}
+
+type failureFreeScenario struct{}
+
+func (failureFreeScenario) Name() string     { return "failure-free" }
+func (d failureFreeScenario) String() string { return d.Name() }
+func (failureFreeScenario) Churny() bool     { return false }
+
+// BuildTrace returns nil: the absence of a trace means every node stays
+// online.
+func (failureFreeScenario) BuildTrace(cfg Config, seed uint64) (*trace.Trace, error) {
+	return nil, nil
+}
+
+type smartphoneTraceScenario struct{}
+
+func (smartphoneTraceScenario) Name() string     { return "smartphone-trace" }
+func (d smartphoneTraceScenario) String() string { return d.Name() }
+func (smartphoneTraceScenario) Churny() bool     { return true }
+
+func (smartphoneTraceScenario) BuildTrace(cfg Config, seed uint64) (*trace.Trace, error) {
+	// Generate one synthetic 2-day segment per node (the paper assigns a
+	// different real segment to each node). The segment duration must cover
+	// the experiment.
+	smCfg := trace.DefaultSmartphoneConfig(cfg.N, rng.Derive(seed, 0x7472616365))
+	smCfg.Duration = cfg.Duration()
+	return trace.Smartphone(smCfg)
+}

@@ -1,0 +1,121 @@
+package experiment
+
+import (
+	"testing"
+
+	"github.com/szte-dcs/tokenaccount/core"
+)
+
+func TestStrategySpecBuild(t *testing.T) {
+	cases := []struct {
+		spec StrategySpec
+		want string
+	}{
+		{Proactive(), "proactive"},
+		{Simple(10), "simple(C=10)"},
+		{Generalized(5, 10), "generalized(A=5,C=10)"},
+		{Randomized(10, 20), "randomized(A=10,C=20)"},
+		{StrategySpec{Kind: KindReactive, A: 2}, "reactive(k=2,useful-only)"},
+	}
+	for _, tc := range cases {
+		s, err := tc.spec.Build()
+		if err != nil {
+			t.Fatalf("Build(%v): %v", tc.spec, err)
+		}
+		if s.Name() != tc.want {
+			t.Errorf("Build(%v).Name() = %q, want %q", tc.spec, s.Name(), tc.want)
+		}
+	}
+	if _, err := (StrategySpec{Kind: "wat"}).Build(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := Generalized(0, 5).Build(); err == nil {
+		t.Error("invalid parameters accepted")
+	}
+	// Reactive default fanout is 1.
+	s, err := StrategySpec{Kind: KindReactive}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.(core.PureReactive).Reactive(0, true) != 1 {
+		t.Error("default reactive fanout should be 1")
+	}
+}
+
+func TestStrategySpecLabels(t *testing.T) {
+	cases := map[string]StrategySpec{
+		"proactive":            Proactive(),
+		"simple(C=7)":          Simple(7),
+		"generalized(A=2,C=9)": Generalized(2, 9),
+		"randomized(A=3,C=6)":  Randomized(3, 6),
+		"reactive(k=1)":        {Kind: KindReactive},
+		"reactive(k=4)":        {Kind: KindReactive, A: 4},
+	}
+	for want, spec := range cases {
+		if got := spec.Label(); got != want {
+			t.Errorf("Label(%v) = %q, want %q", spec, got, want)
+		}
+	}
+}
+
+func TestParseStrategySpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want StrategySpec
+	}{
+		{"proactive", Proactive()},
+		{"simple:15", Simple(15)},
+		{"generalized:5:10", Generalized(5, 10)},
+		{"randomized:10:20", Randomized(10, 20)},
+		{"RANDOMIZED:1:5", Randomized(1, 5)},
+		{"reactive:3", StrategySpec{Kind: KindReactive, A: 3}},
+	}
+	for _, tc := range cases {
+		got, err := ParseStrategySpec(tc.in)
+		if err != nil {
+			t.Fatalf("ParseStrategySpec(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Errorf("ParseStrategySpec(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	bad := []string{"", "nope", "simple", "simple:x", "generalized:5", "generalized:a:b", "reactive"}
+	for _, in := range bad {
+		if _, err := ParseStrategySpec(in); err == nil {
+			t.Errorf("ParseStrategySpec(%q) accepted", in)
+		}
+	}
+}
+
+func TestParameterGrid(t *testing.T) {
+	gen := ParameterGrid(KindGeneralized)
+	if len(gen) != 7*9 {
+		t.Errorf("generalized grid has %d entries, want 63", len(gen))
+	}
+	for _, spec := range gen {
+		if spec.C < spec.A {
+			t.Fatalf("grid entry %v violates A ≤ C", spec)
+		}
+		if _, err := spec.Build(); err != nil {
+			t.Fatalf("grid entry %v does not build: %v", spec, err)
+		}
+	}
+	rand := ParameterGrid(KindRandomized)
+	if len(rand) != 63 {
+		t.Errorf("randomized grid has %d entries", len(rand))
+	}
+	simple := ParameterGrid(KindSimple)
+	seen := map[int]bool{}
+	for _, spec := range simple {
+		if seen[spec.C] {
+			t.Fatalf("duplicate capacity %d in simple grid", spec.C)
+		}
+		seen[spec.C] = true
+	}
+	if len(ParameterGrid(KindProactive)) != 1 {
+		t.Error("proactive grid should have exactly one entry")
+	}
+	if len(ParameterGrid(KindReactive)) != 0 {
+		t.Error("reactive grid should be empty")
+	}
+}

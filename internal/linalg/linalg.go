@@ -8,7 +8,7 @@ import (
 	"fmt"
 	"math"
 
-	"github.com/szte-dcs/tokenaccount/internal/overlay"
+	"github.com/szte-dcs/tokenaccount/overlay"
 )
 
 // Sparse is a compressed sparse row matrix. Rows and columns are indexed from

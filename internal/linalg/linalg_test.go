@@ -5,7 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"github.com/szte-dcs/tokenaccount/internal/overlay"
+	"github.com/szte-dcs/tokenaccount/overlay"
 )
 
 func TestNewSparseFromRowsValidation(t *testing.T) {

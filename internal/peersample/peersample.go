@@ -8,8 +8,8 @@ package peersample
 import (
 	"fmt"
 
-	"github.com/szte-dcs/tokenaccount/internal/overlay"
-	"github.com/szte-dcs/tokenaccount/internal/protocol"
+	"github.com/szte-dcs/tokenaccount/overlay"
+	"github.com/szte-dcs/tokenaccount/protocol"
 )
 
 // Liveness reports whether a node is currently reachable. A nil Liveness

@@ -3,9 +3,9 @@ package peersample
 import (
 	"testing"
 
-	"github.com/szte-dcs/tokenaccount/internal/overlay"
-	"github.com/szte-dcs/tokenaccount/internal/protocol"
 	"github.com/szte-dcs/tokenaccount/internal/rng"
+	"github.com/szte-dcs/tokenaccount/overlay"
+	"github.com/szte-dcs/tokenaccount/protocol"
 )
 
 func TestNewOverlayValidation(t *testing.T) {

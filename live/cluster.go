@@ -1,0 +1,135 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/szte-dcs/tokenaccount/core"
+	"github.com/szte-dcs/tokenaccount/internal/peersample"
+	"github.com/szte-dcs/tokenaccount/protocol"
+	"github.com/szte-dcs/tokenaccount/transport"
+)
+
+// ClusterConfig describes an in-process cluster of live token account nodes
+// connected by a shared memory bus. Clusters are used by the examples and the
+// integration tests; a real deployment would instead run one Service per
+// process over the TCP transport.
+type ClusterConfig struct {
+	// N is the number of nodes (≥ 2).
+	N int
+	// Strategy returns the strategy of node i (required).
+	Strategy func(i int) core.Strategy
+	// NewApp returns the application of node i (required).
+	NewApp func(i int) protocol.Application
+	// Delta is the proactive period of every node (required).
+	Delta time.Duration
+	// Latency is the artificial message latency of the memory bus.
+	Latency time.Duration
+	// Seed drives node randomness; node i uses Seed+i+1.
+	Seed uint64
+	// InitialTokens is the starting balance of every node.
+	InitialTokens int
+}
+
+// Cluster is a set of running live services over a shared in-memory bus.
+type Cluster struct {
+	bus      *transport.MemoryBus
+	services []*Service
+	apps     []protocol.Application
+}
+
+// NewCluster builds the bus, the endpoints and the services. Call Start to
+// begin ticking and Stop to shut everything down.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	switch {
+	case cfg.N < 2:
+		return nil, fmt.Errorf("live: cluster needs at least 2 nodes, got %d", cfg.N)
+	case cfg.Strategy == nil:
+		return nil, fmt.Errorf("live: ClusterConfig.Strategy is nil")
+	case cfg.NewApp == nil:
+		return nil, fmt.Errorf("live: ClusterConfig.NewApp is nil")
+	case cfg.Delta <= 0:
+		return nil, fmt.Errorf("live: ClusterConfig.Delta = %v, need > 0", cfg.Delta)
+	}
+	c := &Cluster{
+		bus:      transport.NewMemoryBus(cfg.Latency),
+		services: make([]*Service, cfg.N),
+		apps:     make([]protocol.Application, cfg.N),
+	}
+	for i := 0; i < cfg.N; i++ {
+		endpoint, err := c.bus.Endpoint(protocol.NodeID(i))
+		if err != nil {
+			return nil, err
+		}
+		peers, err := peersample.NewUniform(cfg.N, i, nil)
+		if err != nil {
+			return nil, err
+		}
+		app := cfg.NewApp(i)
+		if app == nil {
+			return nil, fmt.Errorf("live: NewApp(%d) returned nil", i)
+		}
+		svc, err := New(Config{
+			ID:            protocol.NodeID(i),
+			Strategy:      cfg.Strategy(i),
+			Application:   app,
+			Peers:         peers,
+			Transport:     endpoint,
+			Delta:         cfg.Delta,
+			InitialTokens: cfg.InitialTokens,
+			Seed:          cfg.Seed + uint64(i) + 1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("live: node %d: %w", i, err)
+		}
+		c.services[i] = svc
+		c.apps[i] = app
+	}
+	return c, nil
+}
+
+// Start launches every service.
+func (c *Cluster) Start(ctx context.Context) {
+	for _, s := range c.services {
+		s.Start(ctx)
+	}
+}
+
+// Stop stops every service and closes the bus.
+func (c *Cluster) Stop() {
+	for _, s := range c.services {
+		s.Stop()
+	}
+	for _, s := range c.services {
+		<-s.Done()
+	}
+	_ = c.bus.Close()
+}
+
+// N returns the number of nodes.
+func (c *Cluster) N() int { return len(c.services) }
+
+// Service returns the i-th service.
+func (c *Cluster) Service(i int) *Service { return c.services[i] }
+
+// App returns the application of node i.
+func (c *Cluster) App(i int) protocol.Application { return c.apps[i] }
+
+// Bus returns the underlying memory bus (e.g. to read delivery statistics).
+func (c *Cluster) Bus() *transport.MemoryBus { return c.bus }
+
+// TotalStats aggregates the protocol counters of every node.
+func (c *Cluster) TotalStats() protocol.Stats {
+	var total protocol.Stats
+	for _, s := range c.services {
+		st := s.Stats()
+		total.ProactiveSent += st.ProactiveSent
+		total.ReactiveSent += st.ReactiveSent
+		total.Received += st.Received
+		total.UsefulReceived += st.UsefulReceived
+		total.TokensBanked += st.TokensBanked
+		total.Rounds += st.Rounds
+	}
+	return total
+}

@@ -1,0 +1,234 @@
+// Package live runs the token account protocol (Algorithm 4) in real time:
+// one goroutine per node, a ticker firing every Δ for the proactive loop, and
+// a transport delivering messages between nodes. It is the deployable
+// counterpart of the simulator in internal/simnet and turns the framework
+// into the "traffic shaping service" the paper proposes for decentralized
+// applications.
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/szte-dcs/tokenaccount/core"
+	"github.com/szte-dcs/tokenaccount/internal/rng"
+	"github.com/szte-dcs/tokenaccount/protocol"
+	"github.com/szte-dcs/tokenaccount/transport"
+)
+
+// Config assembles a live token account node.
+type Config struct {
+	// ID is the node's identity on the transport.
+	ID protocol.NodeID
+	// Strategy is the token account strategy (required).
+	Strategy core.Strategy
+	// Application provides CreateMessage/UpdateState (required). The
+	// application is only ever invoked from the service goroutine, so it
+	// needs no internal locking.
+	Application protocol.Application
+	// Peers is the peer sampling service (required).
+	Peers protocol.PeerSelector
+	// Transport delivers outgoing messages and produces incoming ones
+	// (required).
+	Transport transport.Transport
+	// Delta is the proactive period (required, must be positive). The paper
+	// uses minutes; tests use milliseconds.
+	Delta time.Duration
+	// InitialTokens is the starting balance (default 0).
+	InitialTokens int
+	// Seed drives the node's private randomness. Zero means derive a seed
+	// from the node ID, which is convenient but makes runs with the same ID
+	// identical; set an explicit seed for production use.
+	Seed uint64
+	// QueueSize bounds the incoming message queue between the transport
+	// callback and the service goroutine (default 1024). When the queue is
+	// full further messages are dropped, which the protocol tolerates.
+	QueueSize int
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Strategy == nil:
+		return errors.New("live: Config.Strategy is nil")
+	case c.Application == nil:
+		return errors.New("live: Config.Application is nil")
+	case c.Peers == nil:
+		return errors.New("live: Config.Peers is nil")
+	case c.Transport == nil:
+		return errors.New("live: Config.Transport is nil")
+	case c.Delta <= 0:
+		return fmt.Errorf("live: Delta = %v, need > 0", c.Delta)
+	case c.InitialTokens < 0:
+		return fmt.Errorf("live: InitialTokens = %d, need ≥ 0", c.InitialTokens)
+	case c.QueueSize < 0:
+		return fmt.Errorf("live: QueueSize = %d, need ≥ 0", c.QueueSize)
+	}
+	return nil
+}
+
+// Service is a running token account node. Create it with New, start it with
+// Start (or run it synchronously with Run) and stop it by cancelling the
+// context or calling Stop.
+type Service struct {
+	cfg  Config
+	node *protocol.Node
+
+	incoming chan incomingMessage
+	stopOnce sync.Once
+	stopped  chan struct{}
+	done     chan struct{}
+
+	mu      sync.Mutex
+	dropped int64
+}
+
+type incomingMessage struct {
+	from    protocol.NodeID
+	payload any
+}
+
+// New validates the configuration, builds the protocol node and hooks the
+// transport handler. The service does not tick until Start or Run is called.
+func New(cfg Config) (*Service, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.QueueSize == 0 {
+		cfg.QueueSize = 1024
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = rng.Derive(0x6c697665, uint64(cfg.ID)) // "live"
+	}
+	s := &Service{
+		cfg:      cfg,
+		incoming: make(chan incomingMessage, cfg.QueueSize),
+		stopped:  make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	node, err := protocol.NewNode(protocol.Config{
+		ID:            cfg.ID,
+		Strategy:      cfg.Strategy,
+		Application:   cfg.Application,
+		Peers:         cfg.Peers,
+		Sender:        transportSender{transport: cfg.Transport},
+		RNG:           rng.New(seed),
+		InitialTokens: cfg.InitialTokens,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.node = node
+	cfg.Transport.SetHandler(s.enqueue)
+	return s, nil
+}
+
+// transportSender adapts a transport to the protocol.Sender interface,
+// dropping messages the transport cannot deliver.
+type transportSender struct {
+	transport transport.Transport
+}
+
+func (t transportSender) Send(_, to protocol.NodeID, payload any) {
+	// Delivery failures are equivalent to message loss, which the protocol
+	// tolerates; there is nothing useful to do with the error here.
+	_ = t.transport.Send(to, payload)
+}
+
+// enqueue is the transport handler: it forwards the message to the service
+// goroutine, dropping it if the service is stopping or overloaded.
+func (s *Service) enqueue(from protocol.NodeID, payload any) {
+	select {
+	case <-s.stopped:
+		return
+	default:
+	}
+	select {
+	case s.incoming <- incomingMessage{from: from, payload: payload}:
+	default:
+		s.mu.Lock()
+		s.dropped++
+		s.mu.Unlock()
+	}
+}
+
+// Start launches the service goroutine and returns immediately. The service
+// stops when the context is cancelled or Stop is called.
+func (s *Service) Start(ctx context.Context) {
+	go func() { _ = s.Run(ctx) }()
+}
+
+// Run executes the service loop on the calling goroutine until the context is
+// cancelled or Stop is called. It always returns nil or ctx.Err().
+func (s *Service) Run(ctx context.Context) error {
+	defer close(s.done)
+	ticker := time.NewTicker(s.cfg.Delta)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-s.stopped:
+			return nil
+		case <-ticker.C:
+			s.withNode(func(n *protocol.Node) { n.Tick() })
+		case m := <-s.incoming:
+			s.withNode(func(n *protocol.Node) { n.Receive(m.from, m.payload) })
+		}
+	}
+}
+
+// withNode serializes access to the protocol node between the service loop
+// and the snapshot accessors.
+func (s *Service) withNode(f func(n *protocol.Node)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f(s.node)
+}
+
+// Stop terminates the service loop. It is idempotent and safe to call from
+// any goroutine. It does not close the transport; the caller owns it.
+func (s *Service) Stop() {
+	s.stopOnce.Do(func() { close(s.stopped) })
+}
+
+// Done is closed when the service loop has exited.
+func (s *Service) Done() <-chan struct{} { return s.done }
+
+// Tokens returns the current account balance.
+func (s *Service) Tokens() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.node.Tokens()
+}
+
+// Stats returns a snapshot of the protocol counters.
+func (s *Service) Stats() protocol.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.node.Stats()
+}
+
+// DroppedIncoming returns the number of incoming messages dropped because the
+// queue was full.
+func (s *Service) DroppedIncoming() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// ID returns the node's identity.
+func (s *Service) ID() protocol.NodeID { return s.cfg.ID }
+
+// WithApplication runs f with exclusive access to the node's application
+// state, serialized against the service loop. Use it to inject local events
+// (e.g. a fresh broadcast update) or to read application state while the
+// service is running.
+func (s *Service) WithApplication(f func(app protocol.Application)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f(s.node.Application())
+}

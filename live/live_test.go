@@ -1,0 +1,225 @@
+package live
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/szte-dcs/tokenaccount/apps/pushgossip"
+	"github.com/szte-dcs/tokenaccount/core"
+	"github.com/szte-dcs/tokenaccount/internal/peersample"
+	"github.com/szte-dcs/tokenaccount/protocol"
+	"github.com/szte-dcs/tokenaccount/transport"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bus := transport.NewMemoryBus(0)
+	defer bus.Close()
+	ep, err := bus.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers, err := peersample.NewUniform(2, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := Config{
+		ID:          0,
+		Strategy:    core.MustSimple(5),
+		Application: pushgossip.New(),
+		Peers:       peers,
+		Transport:   ep,
+		Delta:       time.Millisecond,
+	}
+	if _, err := New(valid); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	broken := []func(c *Config){
+		func(c *Config) { c.Strategy = nil },
+		func(c *Config) { c.Application = nil },
+		func(c *Config) { c.Peers = nil },
+		func(c *Config) { c.Transport = nil },
+		func(c *Config) { c.Delta = 0 },
+		func(c *Config) { c.InitialTokens = -1 },
+		func(c *Config) { c.QueueSize = -1 },
+	}
+	for i, mutate := range broken {
+		cfg := valid
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("broken config %d accepted", i)
+		}
+	}
+}
+
+func TestServiceStopIsIdempotentAndUnblocksRun(t *testing.T) {
+	bus := transport.NewMemoryBus(0)
+	defer bus.Close()
+	ep, _ := bus.Endpoint(0)
+	peers, _ := peersample.NewUniform(2, 0, nil)
+	svc, err := New(Config{
+		ID: 0, Strategy: core.MustSimple(5), Application: pushgossip.New(),
+		Peers: peers, Transport: ep, Delta: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start(context.Background())
+	time.Sleep(10 * time.Millisecond)
+	svc.Stop()
+	svc.Stop()
+	select {
+	case <-svc.Done():
+	case <-time.After(time.Second):
+		t.Fatal("service did not stop")
+	}
+	if svc.ID() != 0 {
+		t.Error("ID wrong")
+	}
+}
+
+func TestServiceStopsOnContextCancel(t *testing.T) {
+	bus := transport.NewMemoryBus(0)
+	defer bus.Close()
+	ep, _ := bus.Endpoint(0)
+	peers, _ := peersample.NewUniform(2, 0, nil)
+	svc, err := New(Config{
+		ID: 0, Strategy: core.PurelyProactive{}, Application: pushgossip.New(),
+		Peers: peers, Transport: ep, Delta: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	svc.Start(ctx)
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case <-svc.Done():
+	case <-time.After(time.Second):
+		t.Fatal("service did not stop on context cancellation")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	ok := ClusterConfig{
+		N:        3,
+		Strategy: func(int) core.Strategy { return core.MustSimple(3) },
+		NewApp:   func(int) protocol.Application { return pushgossip.New() },
+		Delta:    time.Millisecond,
+	}
+	if _, err := NewCluster(ok); err != nil {
+		t.Fatalf("valid cluster rejected: %v", err)
+	}
+	broken := []func(c *ClusterConfig){
+		func(c *ClusterConfig) { c.N = 1 },
+		func(c *ClusterConfig) { c.Strategy = nil },
+		func(c *ClusterConfig) { c.NewApp = nil },
+		func(c *ClusterConfig) { c.Delta = 0 },
+		func(c *ClusterConfig) { c.NewApp = func(int) protocol.Application { return nil } },
+	}
+	for i, mutate := range broken {
+		cfg := ok
+		mutate(&cfg)
+		if _, err := NewCluster(cfg); err == nil {
+			t.Errorf("broken cluster config %d accepted", i)
+		}
+	}
+}
+
+// TestClusterBroadcastPropagates runs a small live cluster with the push
+// gossip application and the generalized token account strategy and checks
+// that an update injected at one node reaches (nearly) every node.
+func TestClusterBroadcastPropagates(t *testing.T) {
+	const n = 16
+	cluster, err := NewCluster(ClusterConfig{
+		N:        n,
+		Strategy: func(int) core.Strategy { return core.MustGeneralized(1, 10) },
+		NewApp:   func(int) protocol.Application { return pushgossip.New() },
+		Delta:    2 * time.Millisecond,
+		Seed:     42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cluster.Start(ctx)
+
+	// Let nodes bank a few tokens, then inject a fresh update at node 0.
+	time.Sleep(30 * time.Millisecond)
+	cluster.Service(0).WithApplication(func(app protocol.Application) {
+		app.(*pushgossip.State).Inject(1)
+	})
+
+	deadline := time.Now().Add(3 * time.Second)
+	covered := 0
+	for time.Now().Before(deadline) {
+		covered = 0
+		for i := 0; i < n; i++ {
+			cluster.Service(i).WithApplication(func(app protocol.Application) {
+				if app.(*pushgossip.State).Seq() >= 1 {
+					covered++
+				}
+			})
+		}
+		if covered == n {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cluster.Stop()
+	if covered < n-1 {
+		t.Errorf("update reached %d of %d nodes", covered, n)
+	}
+	stats := cluster.TotalStats()
+	if stats.TotalSent() == 0 || stats.Received == 0 {
+		t.Errorf("no traffic recorded: %+v", stats)
+	}
+	if cluster.N() != n || cluster.App(0) == nil || cluster.Bus() == nil {
+		t.Error("cluster accessors wrong")
+	}
+}
+
+// TestLiveRateLimiting checks that a live node under heavy incoming load does
+// not exceed the ceil(t/Δ)+C send bound by a meaningful margin.
+func TestLiveRateLimiting(t *testing.T) {
+	const delta = 5 * time.Millisecond
+	bus := transport.NewMemoryBus(0)
+	defer bus.Close()
+	ep0, _ := bus.Endpoint(0)
+	ep1, _ := bus.Endpoint(1)
+	peers, _ := peersample.NewUniform(2, 0, nil)
+	strategy := core.MustGeneralized(1, 5)
+	svc, err := New(Config{
+		ID: 0, Strategy: strategy, Application: pushgossip.New(),
+		Peers: peers, Transport: ep0, Delta: delta, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	svc.Start(ctx)
+
+	// Flood the node with fresh updates from node 1.
+	start := time.Now()
+	for i := 0; i < 400; i++ {
+		_ = ep1.Send(0, pushgossip.Update{Seq: int64(i + 1)})
+		time.Sleep(time.Millisecond)
+	}
+	elapsed := time.Since(start)
+	svc.Stop()
+	<-svc.Done()
+
+	sent := svc.Stats().TotalSent()
+	periods := int(elapsed/delta) + 1
+	allowed := periods + strategy.Capacity()
+	// Allow a small slack for timer scheduling jitter.
+	if sent > allowed+5 {
+		t.Errorf("sent %d messages in %v, rate bound allows ≈ %d", sent, elapsed, allowed)
+	}
+	if sent == 0 {
+		t.Error("node sent nothing despite useful incoming traffic")
+	}
+}

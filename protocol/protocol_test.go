@@ -1,0 +1,337 @@
+package protocol
+
+import (
+	"testing"
+
+	"github.com/szte-dcs/tokenaccount/core"
+	"github.com/szte-dcs/tokenaccount/internal/rng"
+)
+
+// collectingSender records every sent message.
+type collectingSender struct {
+	msgs []sentMsg
+}
+
+type sentMsg struct {
+	from, to NodeID
+	payload  any
+}
+
+func (c *collectingSender) Send(from, to NodeID, payload any) {
+	c.msgs = append(c.msgs, sentMsg{from, to, payload})
+}
+
+// staticPeers always returns the same peer (or none).
+type staticPeers struct {
+	peer NodeID
+	ok   bool
+}
+
+func (s staticPeers) SelectPeer(Rand) (NodeID, bool) { return s.peer, s.ok }
+
+// countingApp marks messages useful according to a toggle and counts calls.
+type countingApp struct {
+	useful    bool
+	created   int
+	updated   int
+	lastFrom  NodeID
+	lastValue any
+}
+
+func (a *countingApp) CreateMessage() any { a.created++; return a.created }
+
+func (a *countingApp) UpdateState(from NodeID, payload any) bool {
+	a.updated++
+	a.lastFrom = from
+	a.lastValue = payload
+	return a.useful
+}
+
+func newTestNode(t *testing.T, s core.Strategy, app Application, sender Sender, peers PeerSelector) *Node {
+	t.Helper()
+	n, err := NewNode(Config{
+		ID:          1,
+		Strategy:    s,
+		Application: app,
+		Peers:       peers,
+		Sender:      sender,
+		RNG:         rng.New(42),
+	})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	return n
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	valid := Config{
+		Strategy:    core.PurelyProactive{},
+		Application: &countingApp{},
+		Peers:       staticPeers{peer: 2, ok: true},
+		Sender:      &collectingSender{},
+		RNG:         rng.New(1),
+	}
+	if _, err := NewNode(valid); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	broken := []func(c *Config){
+		func(c *Config) { c.Strategy = nil },
+		func(c *Config) { c.Application = nil },
+		func(c *Config) { c.Peers = nil },
+		func(c *Config) { c.Sender = nil },
+		func(c *Config) { c.RNG = nil },
+		func(c *Config) { c.InitialTokens = -1 },
+	}
+	for i, mutate := range broken {
+		cfg := valid
+		mutate(&cfg)
+		if _, err := NewNode(cfg); err == nil {
+			t.Errorf("broken config %d accepted", i)
+		}
+	}
+}
+
+func TestProactiveNodeSendsEveryRound(t *testing.T) {
+	sender := &collectingSender{}
+	app := &countingApp{}
+	n := newTestNode(t, core.PurelyProactive{}, app, sender, staticPeers{peer: 7, ok: true})
+	for i := 0; i < 10; i++ {
+		n.Tick()
+	}
+	if len(sender.msgs) != 10 {
+		t.Fatalf("sent %d messages, want 10", len(sender.msgs))
+	}
+	if n.Tokens() != 0 {
+		t.Errorf("balance = %d, want 0", n.Tokens())
+	}
+	st := n.Stats()
+	if st.ProactiveSent != 10 || st.ReactiveSent != 0 || st.Rounds != 10 {
+		t.Errorf("stats = %+v", st)
+	}
+	for _, m := range sender.msgs {
+		if m.from != 1 || m.to != 7 {
+			t.Errorf("message addressed %d->%d, want 1->7", m.from, m.to)
+		}
+	}
+}
+
+func TestSimpleNodeBanksUntilFull(t *testing.T) {
+	sender := &collectingSender{}
+	n := newTestNode(t, core.MustSimple(3), &countingApp{}, sender, staticPeers{peer: 2, ok: true})
+	// Rounds 1-3 bank (a = 0,1,2 < 3), round 4 onwards the account is full.
+	for i := 0; i < 6; i++ {
+		n.Tick()
+	}
+	if n.Tokens() != 3 {
+		t.Errorf("balance = %d, want 3", n.Tokens())
+	}
+	if len(sender.msgs) != 3 {
+		t.Errorf("sent %d proactive messages, want 3", len(sender.msgs))
+	}
+}
+
+func TestSimpleNodeReactsWhileTokensLast(t *testing.T) {
+	sender := &collectingSender{}
+	app := &countingApp{useful: true}
+	n := newTestNode(t, core.MustSimple(5), app, sender, staticPeers{peer: 2, ok: true})
+	for i := 0; i < 3; i++ {
+		n.Tick() // bank three tokens
+	}
+	for i := 0; i < 5; i++ {
+		n.Receive(9, "payload")
+	}
+	// Three reactive sends (one per banked token), then the account is empty.
+	if got := n.Stats().ReactiveSent; got != 3 {
+		t.Errorf("ReactiveSent = %d, want 3", got)
+	}
+	if n.Tokens() != 0 {
+		t.Errorf("balance = %d, want 0", n.Tokens())
+	}
+	if app.updated != 5 {
+		t.Errorf("UpdateState called %d times, want 5", app.updated)
+	}
+	if app.lastFrom != 9 || app.lastValue != "payload" {
+		t.Errorf("UpdateState got (%v, %v)", app.lastFrom, app.lastValue)
+	}
+}
+
+func TestGeneralizedNodeBurnsProportionally(t *testing.T) {
+	sender := &collectingSender{}
+	n := newTestNode(t, core.MustGeneralized(1, 10), &countingApp{useful: true}, sender, staticPeers{peer: 2, ok: true})
+	for i := 0; i < 6; i++ {
+		n.Tick() // bank 6 tokens (capacity 10)
+	}
+	n.Receive(3, nil)
+	// A = 1 spends the full balance on a useful message.
+	if got := n.Stats().ReactiveSent; got != 6 {
+		t.Errorf("ReactiveSent = %d, want 6", got)
+	}
+	if n.Tokens() != 0 {
+		t.Errorf("balance = %d, want 0", n.Tokens())
+	}
+}
+
+func TestUselessMessagesSpendNothingWhenScarce(t *testing.T) {
+	// Generalized with A >= a returns 0 for useless messages.
+	sender := &collectingSender{}
+	n := newTestNode(t, core.MustGeneralized(5, 10), &countingApp{useful: false}, sender, staticPeers{peer: 2, ok: true})
+	for i := 0; i < 4; i++ {
+		n.Tick()
+	}
+	before := n.Tokens()
+	n.Receive(3, nil)
+	if n.Tokens() != before {
+		t.Errorf("balance changed from %d to %d on useless message", before, n.Tokens())
+	}
+	if n.Stats().ReactiveSent != 0 {
+		t.Errorf("ReactiveSent = %d, want 0", n.Stats().ReactiveSent)
+	}
+}
+
+func TestNoPeerAvailableBanksToken(t *testing.T) {
+	sender := &collectingSender{}
+	n := newTestNode(t, core.PurelyProactive{}, &countingApp{}, sender, staticPeers{ok: false})
+	for i := 0; i < 5; i++ {
+		n.Tick()
+	}
+	if len(sender.msgs) != 0 {
+		t.Errorf("sent %d messages with no peers, want 0", len(sender.msgs))
+	}
+	if n.Tokens() != 5 {
+		t.Errorf("balance = %d, want 5 (tokens banked when no peer available)", n.Tokens())
+	}
+}
+
+func TestReactiveRefundWhenPeersVanish(t *testing.T) {
+	// Peers disappear after the node has banked tokens: reactive sends fail
+	// and the tokens must be refunded.
+	sender := &collectingSender{}
+	peers := &togglePeers{peer: 2, ok: true}
+	app := &countingApp{useful: true}
+	n := newTestNode(t, core.MustGeneralized(1, 10), app, sender, peers)
+	for i := 0; i < 5; i++ {
+		n.Tick()
+	}
+	peers.ok = false
+	n.Receive(4, nil)
+	if n.Tokens() != 5 {
+		t.Errorf("balance = %d, want 5 (refunded)", n.Tokens())
+	}
+	if n.Stats().ReactiveSent != 0 {
+		t.Errorf("ReactiveSent = %d, want 0", n.Stats().ReactiveSent)
+	}
+}
+
+type togglePeers struct {
+	peer NodeID
+	ok   bool
+}
+
+func (p *togglePeers) SelectPeer(Rand) (NodeID, bool) { return p.peer, p.ok }
+
+func TestPureReactiveNodeFloods(t *testing.T) {
+	sender := &collectingSender{}
+	n := newTestNode(t, core.MustPureReactive(2, false), &countingApp{useful: true}, sender, staticPeers{peer: 2, ok: true})
+	n.Tick() // never sends proactively
+	if n.Stats().ProactiveSent != 0 {
+		t.Errorf("ProactiveSent = %d, want 0", n.Stats().ProactiveSent)
+	}
+	n.Receive(5, nil)
+	if n.Stats().ReactiveSent != 2 {
+		t.Errorf("ReactiveSent = %d, want 2", n.Stats().ReactiveSent)
+	}
+	if n.Tokens() >= 0 {
+		t.Errorf("balance = %d, want negative (overspending allowed)", n.Tokens())
+	}
+}
+
+func TestRespondDirect(t *testing.T) {
+	sender := &collectingSender{}
+	n := newTestNode(t, core.MustSimple(5), &countingApp{}, sender, staticPeers{peer: 2, ok: true})
+	if n.RespondDirect(9) {
+		t.Error("RespondDirect succeeded with empty account")
+	}
+	n.Tick() // bank one token
+	if !n.RespondDirect(9) {
+		t.Error("RespondDirect failed with one token")
+	}
+	if n.Tokens() != 0 {
+		t.Errorf("balance = %d, want 0 after direct response", n.Tokens())
+	}
+	last := sender.msgs[len(sender.msgs)-1]
+	if last.to != 9 {
+		t.Errorf("direct response sent to %d, want 9", last.to)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	app := &countingApp{}
+	strategy := core.MustRandomized(2, 4)
+	n := newTestNode(t, strategy, app, &collectingSender{}, staticPeers{peer: 2, ok: true})
+	if n.ID() != 1 {
+		t.Errorf("ID() = %d, want 1", n.ID())
+	}
+	if n.Strategy() != strategy {
+		t.Error("Strategy() does not return the configured strategy")
+	}
+	if n.Application() != app {
+		t.Error("Application() does not return the configured application")
+	}
+	if n.Stats().TotalSent() != 0 {
+		t.Errorf("TotalSent = %d, want 0", n.Stats().TotalSent())
+	}
+}
+
+// TestRateLimitInvariantUnderRandomTraffic drives a node with random incoming
+// traffic and checks the capacity bound on the balance and the envelope bound
+// on the send times, for every bounded strategy.
+func TestRateLimitInvariantUnderRandomTraffic(t *testing.T) {
+	strategies := []core.Strategy{
+		core.MustSimple(10),
+		core.MustGeneralized(5, 10),
+		core.MustGeneralized(1, 40),
+		core.MustRandomized(5, 10),
+		core.MustRandomized(1, 20),
+	}
+	const delta = 1.0
+	for _, s := range strategies {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			env := core.NewEnvelope(delta, s.Capacity())
+			now := 0.0
+			recorder := senderFunc(func(from, to NodeID, payload any) { env.Record(now) })
+			source := rng.New(987)
+			app := &countingApp{useful: true}
+			n, err := NewNode(Config{
+				ID: 1, Strategy: s, Application: app,
+				Peers: staticPeers{peer: 2, ok: true}, Sender: recorder, RNG: source,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for round := 0; round < 400; round++ {
+				now = float64(round) * delta
+				n.Tick()
+				app.useful = source.Float64() < 0.7
+				for k := source.Intn(5); k > 0; k-- {
+					now = float64(round)*delta + source.Float64()*delta
+					n.Receive(3, nil)
+				}
+				if n.Tokens() > s.Capacity() {
+					t.Fatalf("balance %d exceeds capacity %d", n.Tokens(), s.Capacity())
+				}
+				if n.Tokens() < 0 {
+					t.Fatalf("balance %d is negative", n.Tokens())
+				}
+			}
+			if v := env.Verify(); v != nil {
+				t.Errorf("rate limit violated: %v", v)
+			}
+		})
+	}
+}
+
+// senderFunc adapts a function to the Sender interface.
+type senderFunc func(from, to NodeID, payload any)
+
+func (f senderFunc) Send(from, to NodeID, payload any) { f(from, to, payload) }

@@ -1,0 +1,214 @@
+package crashburst_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/szte-dcs/tokenaccount/experiment"
+	"github.com/szte-dcs/tokenaccount/scenarios/crashburst"
+)
+
+// TestRegisteredThroughPublicRegistry verifies the package's whole point:
+// the scenario is reachable by name through the experiment registry, with
+// parameters parsed from the spec string.
+func TestRegisteredThroughPublicRegistry(t *testing.T) {
+	found := false
+	for _, name := range experiment.Scenarios() {
+		if name == "crash-burst" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("crash-burst not listed in experiment.Scenarios() = %v", experiment.Scenarios())
+	}
+
+	sc, err := experiment.ParseScenario("crash-burst:0.4:30:10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, ok := sc.(*crashburst.Scenario)
+	if !ok {
+		t.Fatalf("ParseScenario returned %T", sc)
+	}
+	if parsed.Fraction != 0.4 || parsed.CrashRound != 30 || parsed.DownRounds != 10 {
+		t.Errorf("parsed parameters = %+v", *parsed)
+	}
+	if !sc.Churny() {
+		t.Error("crash-burst must report churn")
+	}
+
+	if _, err := experiment.ParseScenario("crash-burst:0.4:30:10:7"); err == nil {
+		t.Error("trailing parameter accepted")
+	}
+	for _, bad := range []string{"crash-burst:0", "crash-burst:1.5", "crash-burst:x", "crash-burst:0.4:0", "crash-burst:0.4:30:-1"} {
+		if _, err := experiment.ParseScenario(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+// TestTraceShape checks the availability pattern: everyone online before the
+// burst, exactly the configured fraction offline during the outage, everyone
+// back afterwards.
+func TestTraceShape(t *testing.T) {
+	cfg := experiment.Config{
+		App:      experiment.PushGossip,
+		Strategy: experiment.Simple(10),
+		N:        200,
+		Rounds:   100,
+	}.WithDefaults()
+	sc := &crashburst.Scenario{Fraction: 0.25, CrashRound: 40, DownRounds: 20}
+	tr, err := sc.BuildTrace(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N() != cfg.N {
+		t.Fatalf("trace covers %d nodes, want %d", tr.N(), cfg.N)
+	}
+	count := func(time float64) int {
+		online := 0
+		for i := 0; i < cfg.N; i++ {
+			if tr.Online(i, time) {
+				online++
+			}
+		}
+		return online
+	}
+	before := 10 * cfg.Delta
+	during := 50 * cfg.Delta
+	after := 70 * cfg.Delta
+	if got := count(before); got != cfg.N {
+		t.Errorf("%d nodes online before the burst, want %d", got, cfg.N)
+	}
+	if got, want := count(during), cfg.N-50; got != want {
+		t.Errorf("%d nodes online during the outage, want %d", got, want)
+	}
+	if got := count(after); got != cfg.N {
+		t.Errorf("%d nodes online after the rejoin, want %d", got, cfg.N)
+	}
+
+	// An outage reaching past the end of the run leaves the crashed nodes
+	// offline for good: no trailing empty interval, no rejoin transition at
+	// the final instant.
+	forever := &crashburst.Scenario{Fraction: 0.25, CrashRound: 90, DownRounds: 50}
+	trF, err := forever.BuildTrace(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.N; i++ {
+		if len(trF.Segments[i].Intervals) > 1 && trF.Segments[i].Intervals[1].Start >= trF.Segments[i].Intervals[1].End {
+			t.Fatalf("node %d has an empty rejoin interval: %+v", i, trF.Segments[i].Intervals)
+		}
+	}
+	if got, want := func() int {
+		online := 0
+		for i := 0; i < cfg.N; i++ {
+			if trF.Online(i, 95*cfg.Delta) {
+				online++
+			}
+		}
+		return online
+	}(), cfg.N-50; got != want {
+		t.Errorf("%d nodes online after a permanent crash, want %d", got, want)
+	}
+
+	// Directly constructed out-of-range parameters error instead of
+	// panicking or producing inverted intervals.
+	for _, f := range []float64{-0.5, 1.2} {
+		if _, err := (&crashburst.Scenario{Fraction: f}).BuildTrace(cfg, 1); err == nil {
+			t.Errorf("fraction %g accepted by BuildTrace", f)
+		}
+	}
+	if _, err := (&crashburst.Scenario{CrashRound: -5}).BuildTrace(cfg, 1); err == nil {
+		t.Error("negative crash round accepted by BuildTrace")
+	}
+
+	// Parameterized instances must stay distinguishable in labels.
+	if forever.String() == (&crashburst.Scenario{Fraction: 0.25, CrashRound: 40, DownRounds: 50}).String() {
+		t.Errorf("scenarios with different crash rounds share the label %q", forever.String())
+	}
+
+	// Different seeds must crash different subsets (the selection is
+	// seed-derived, so repetitions decorrelate).
+	tr2, err := sc.BuildTrace(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < cfg.N; i++ {
+		if tr.Online(i, during) != tr2.Online(i, during) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds crashed the identical subset")
+	}
+}
+
+// TestEndToEndRun drives the scenario through the completely generic
+// experiment pipeline for the paper applications that support churn.
+func TestEndToEndRun(t *testing.T) {
+	sc, err := experiment.ParseScenario("crash-burst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range []experiment.AppDriver{experiment.PushGossip, experiment.GossipLearning} {
+		res, err := experiment.Run(experiment.Config{
+			App:      app,
+			Strategy: experiment.Randomized(5, 10),
+			Scenario: sc,
+			N:        120,
+			Rounds:   60,
+			Seed:     1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name(), err)
+		}
+		if res.Metric.Len() == 0 {
+			t.Fatalf("%s: no samples", app.Name())
+		}
+		if res.MessagesPerNodePerRound <= 0 || res.MessagesPerNodePerRound > 1.01 {
+			t.Errorf("%s: budget %v outside (0, 1]", app.Name(), res.MessagesPerNodePerRound)
+		}
+		if !strings.Contains(res.Config.Label(), "crash-burst") {
+			t.Errorf("label %q misses the scenario", res.Config.Label())
+		}
+	}
+
+	// Chaotic iteration rejects churny scenarios, crash-burst included.
+	if _, err := experiment.Run(experiment.Config{
+		App:      experiment.ChaoticIteration,
+		Strategy: experiment.Proactive(),
+		Scenario: sc,
+		N:        50,
+		Rounds:   20,
+	}); err == nil {
+		t.Error("chaotic iteration accepted a churny scenario")
+	}
+}
+
+// TestDeterminism: identical configs give identical results, as for the
+// built-in scenarios.
+func TestDeterminism(t *testing.T) {
+	cfg := experiment.Config{
+		App:      experiment.PushGossip,
+		Strategy: experiment.Generalized(5, 10),
+		Scenario: &crashburst.Scenario{Fraction: 0.5},
+		N:        100,
+		Rounds:   40,
+		Seed:     3,
+	}
+	a, err := experiment.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := experiment.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MessagesSent != b.MessagesSent || a.FinalMetric != b.FinalMetric {
+		t.Errorf("identical configs differ: (%v,%v) vs (%v,%v)",
+			a.MessagesSent, a.FinalMetric, b.MessagesSent, b.FinalMetric)
+	}
+}

@@ -1,0 +1,362 @@
+// Package simnet assembles a full simulated network: N token-account
+// protocol nodes connected by a fixed overlay, driven by the discrete-event
+// engine, with per-node unsynchronized proactive rounds, message transfer
+// delays, and optional churn from an availability trace. It corresponds to
+// the PeerSim experiment assembly used in the paper's evaluation (§4.1).
+package simnet
+
+import (
+	"fmt"
+
+	"github.com/szte-dcs/tokenaccount/core"
+	"github.com/szte-dcs/tokenaccount/internal/peersample"
+	"github.com/szte-dcs/tokenaccount/internal/rng"
+	"github.com/szte-dcs/tokenaccount/overlay"
+	"github.com/szte-dcs/tokenaccount/protocol"
+	"github.com/szte-dcs/tokenaccount/sim"
+	"github.com/szte-dcs/tokenaccount/trace"
+)
+
+// Config describes a simulated network.
+type Config struct {
+	// Graph is the fixed communication overlay (required).
+	Graph *overlay.Graph
+	// Strategy returns the token account strategy of node i (required). Most
+	// experiments use the same strategy for every node.
+	Strategy func(i int) core.Strategy
+	// NewApp returns the application instance of node i (required).
+	NewApp func(i int) protocol.Application
+	// Delta is the proactive period Δ in seconds (the paper uses 172.80 s).
+	Delta float64
+	// TransferDelay is the time needed to deliver one message (1.728 s in the
+	// paper, one hundredth of the period).
+	TransferDelay float64
+	// Trace provides node availability; nil means every node is online for
+	// the whole run (the failure-free scenario).
+	Trace *trace.Trace
+	// Seed drives all randomness of the run (overlay phases, protocol
+	// decisions, injections).
+	Seed uint64
+	// InitialTokens is the starting account balance (0 in the paper).
+	InitialTokens int
+	// OnRejoin, if non-nil, is invoked whenever a node transitions from
+	// offline to online during the run (not for nodes already online at time
+	// zero). The push gossip experiment uses it to issue the initial pull
+	// request of §4.1.2.
+	OnRejoin func(n *Network, node int)
+	// AuditNodes lists node indices whose outgoing message times are recorded
+	// in a rate-limit envelope for verification (§3.4). Empty means no audit.
+	AuditNodes []int
+	// DropProbability is the probability that any individual message is lost
+	// in transit, independently of churn. The paper's experiments assume a
+	// reliable transfer protocol, but the protocols themselves do not (§2.1);
+	// this knob exercises the fault-tolerance role of the proactive
+	// component: lost messages are eventually replaced by proactive ones.
+	DropProbability float64
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Graph == nil:
+		return fmt.Errorf("simnet: Config.Graph is nil")
+	case c.Strategy == nil:
+		return fmt.Errorf("simnet: Config.Strategy is nil")
+	case c.NewApp == nil:
+		return fmt.Errorf("simnet: Config.NewApp is nil")
+	case c.Delta <= 0:
+		return fmt.Errorf("simnet: Delta = %v, need > 0", c.Delta)
+	case c.TransferDelay < 0:
+		return fmt.Errorf("simnet: TransferDelay = %v, need ≥ 0", c.TransferDelay)
+	case c.InitialTokens < 0:
+		return fmt.Errorf("simnet: InitialTokens = %v, need ≥ 0", c.InitialTokens)
+	case c.DropProbability < 0 || c.DropProbability > 1:
+		return fmt.Errorf("simnet: DropProbability = %v outside [0,1]", c.DropProbability)
+	}
+	if c.Trace != nil && c.Trace.N() < c.Graph.N() {
+		return fmt.Errorf("simnet: trace covers %d nodes, overlay has %d", c.Trace.N(), c.Graph.N())
+	}
+	for _, i := range c.AuditNodes {
+		if i < 0 || i >= c.Graph.N() {
+			return fmt.Errorf("simnet: audit node %d outside [0,%d)", i, c.Graph.N())
+		}
+	}
+	return nil
+}
+
+// Network is a running simulated network. It is not safe for concurrent use;
+// all interaction happens on the goroutine driving the engine.
+type Network struct {
+	cfg    Config
+	engine *sim.Engine
+	nodes  []*protocol.Node
+	apps   []protocol.Application
+	online []bool
+
+	netRNG *rng.Source
+
+	sent      int64
+	delivered int64
+	dropped   int64
+
+	envelopes map[int]*core.Envelope
+}
+
+var _ protocol.Sender = (*Network)(nil)
+
+// New builds the network: it instantiates one protocol node per overlay
+// vertex with its own RNG stream, schedules the unsynchronized proactive
+// rounds (each node starts at a uniformly random phase within [0, Δ)), and
+// schedules the churn transitions of the availability trace.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Graph.N()
+	net := &Network{
+		cfg:       cfg,
+		engine:    sim.NewEngine(),
+		nodes:     make([]*protocol.Node, n),
+		apps:      make([]protocol.Application, n),
+		online:    make([]bool, n),
+		netRNG:    rng.New(rng.Derive(cfg.Seed, 0x6e6574)), // "net"
+		envelopes: make(map[int]*core.Envelope),
+	}
+	liveness := func(id protocol.NodeID) bool { return net.online[id] }
+	for i := 0; i < n; i++ {
+		app := cfg.NewApp(i)
+		if app == nil {
+			return nil, fmt.Errorf("simnet: NewApp(%d) returned nil", i)
+		}
+		strategy := cfg.Strategy(i)
+		if strategy == nil {
+			return nil, fmt.Errorf("simnet: Strategy(%d) returned nil", i)
+		}
+		sampler, err := peersample.NewOverlay(cfg.Graph, i, liveness)
+		if err != nil {
+			return nil, fmt.Errorf("simnet: node %d sampler: %w", i, err)
+		}
+		node, err := protocol.NewNode(protocol.Config{
+			ID:            protocol.NodeID(i),
+			Strategy:      strategy,
+			Application:   app,
+			Peers:         sampler,
+			Sender:        net,
+			RNG:           rng.New(rng.Derive(cfg.Seed, uint64(i))),
+			InitialTokens: cfg.InitialTokens,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("simnet: node %d: %w", i, err)
+		}
+		net.nodes[i] = node
+		net.apps[i] = app
+		net.online[i] = cfg.Trace == nil || cfg.Trace.Online(i, 0)
+	}
+	for _, i := range cfg.AuditNodes {
+		capacity := net.nodes[i].Strategy().Capacity()
+		if capacity == core.UnboundedCapacity {
+			continue // nothing to audit for unbounded strategies
+		}
+		net.envelopes[i] = core.NewEnvelope(cfg.Delta, capacity)
+	}
+	net.scheduleRounds()
+	net.scheduleChurn()
+	return net, nil
+}
+
+// scheduleRounds starts every node's proactive loop at a random phase.
+func (net *Network) scheduleRounds() {
+	phaseRNG := rng.New(rng.Derive(net.cfg.Seed, 0x7068617365)) // "phase"
+	for i := range net.nodes {
+		i := i
+		phase := phaseRNG.Float64() * net.cfg.Delta
+		net.engine.Every(phase, net.cfg.Delta, func() bool {
+			if net.online[i] {
+				net.nodes[i].Tick()
+			}
+			return true
+		})
+	}
+}
+
+// scheduleChurn schedules the online/offline transitions from the trace.
+func (net *Network) scheduleChurn() {
+	tr := net.cfg.Trace
+	if tr == nil {
+		return
+	}
+	for i := 0; i < len(net.nodes) && i < tr.N(); i++ {
+		i := i
+		for _, iv := range tr.Segments[i].Intervals {
+			if iv.Start > 0 {
+				net.engine.At(iv.Start, func() {
+					net.online[i] = true
+					if net.cfg.OnRejoin != nil {
+						net.cfg.OnRejoin(net, i)
+					}
+				})
+			}
+			if iv.End < tr.Duration {
+				// An interval reaching the end of the trace never transitions
+				// back to offline: the run ends there anyway, and scheduling
+				// the transition would make end-of-run metrics see an empty
+				// network.
+				net.engine.At(iv.End, func() {
+					net.online[i] = false
+				})
+			}
+		}
+	}
+}
+
+// Engine exposes the underlying discrete-event engine, e.g. to schedule
+// update injections or metric probes.
+func (net *Network) Engine() *sim.Engine { return net.engine }
+
+// Run advances the simulation to the given virtual time.
+func (net *Network) Run(until float64) { net.engine.RunUntil(until) }
+
+// N returns the number of nodes.
+func (net *Network) N() int { return len(net.nodes) }
+
+// Node returns the protocol node with index i.
+func (net *Network) Node(i int) *protocol.Node { return net.nodes[i] }
+
+// App returns the application instance of node i.
+func (net *Network) App(i int) protocol.Application { return net.apps[i] }
+
+// Online reports whether node i is currently online.
+func (net *Network) Online(i int) bool { return net.online[i] }
+
+// OnlineCount returns the number of currently online nodes.
+func (net *Network) OnlineCount() int {
+	count := 0
+	for _, o := range net.online {
+		if o {
+			count++
+		}
+	}
+	return count
+}
+
+// RandomOnlineNode returns a uniformly random online node, or false if every
+// node is offline. It uses rejection sampling with a fallback scan so that it
+// stays cheap when most of the network is online.
+func (net *Network) RandomOnlineNode() (int, bool) {
+	n := len(net.nodes)
+	for attempt := 0; attempt < 32; attempt++ {
+		i := net.netRNG.Intn(n)
+		if net.online[i] {
+			return i, true
+		}
+	}
+	start := net.netRNG.Intn(n)
+	for d := 0; d < n; d++ {
+		i := (start + d) % n
+		if net.online[i] {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// RandomOnlineNeighbor returns a uniformly random online out-neighbour of the
+// given node, or false if none is online.
+func (net *Network) RandomOnlineNeighbor(i int) (int, bool) {
+	nbrs := net.cfg.Graph.OutNeighbors(i)
+	online := make([]int32, 0, len(nbrs))
+	for _, v := range nbrs {
+		if net.online[v] {
+			online = append(online, v)
+		}
+	}
+	if len(online) == 0 {
+		return 0, false
+	}
+	return int(online[net.netRNG.Intn(len(online))]), true
+}
+
+// Send implements protocol.Sender: the payload is delivered to the target
+// after the configured transfer delay, or dropped if the target is offline at
+// delivery time.
+func (net *Network) Send(from, to protocol.NodeID, payload any) {
+	net.sent++
+	if env, ok := net.envelopes[int(from)]; ok {
+		env.Record(net.engine.Now())
+	}
+	if net.cfg.DropProbability > 0 && net.netRNG.Float64() < net.cfg.DropProbability {
+		net.dropped++
+		return
+	}
+	net.engine.Schedule(net.cfg.TransferDelay, func() {
+		if !net.online[to] {
+			net.dropped++
+			return
+		}
+		net.delivered++
+		net.nodes[to].Receive(from, payload)
+	})
+}
+
+// MessagesSent returns the total number of messages handed to the network.
+func (net *Network) MessagesSent() int64 { return net.sent }
+
+// MessagesDelivered returns the number of messages delivered to online nodes.
+func (net *Network) MessagesDelivered() int64 { return net.delivered }
+
+// MessagesDropped returns the number of messages dropped because the target
+// was offline at delivery time.
+func (net *Network) MessagesDropped() int64 { return net.dropped }
+
+// AverageTokens returns the mean account balance. With onlineOnly set, only
+// online nodes are considered (the churn scenario's convention).
+func (net *Network) AverageTokens(onlineOnly bool) float64 {
+	sum, count := 0, 0
+	for i, node := range net.nodes {
+		if onlineOnly && !net.online[i] {
+			continue
+		}
+		sum += node.Tokens()
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(sum) / float64(count)
+}
+
+// TotalStats aggregates the protocol counters over all nodes.
+func (net *Network) TotalStats() protocol.Stats {
+	var total protocol.Stats
+	for _, node := range net.nodes {
+		s := node.Stats()
+		total.ProactiveSent += s.ProactiveSent
+		total.ReactiveSent += s.ReactiveSent
+		total.Received += s.Received
+		total.UsefulReceived += s.UsefulReceived
+		total.TokensBanked += s.TokensBanked
+		total.Rounds += s.Rounds
+	}
+	return total
+}
+
+// SamplePeriodic schedules fn to be called with the current virtual time,
+// first at the given phase and then every interval, until the horizon passed
+// to Run is reached.
+func (net *Network) SamplePeriodic(phase, interval float64, fn func(t float64)) {
+	net.engine.Every(phase, interval, func() bool {
+		fn(net.engine.Now())
+		return true
+	})
+}
+
+// AuditViolations verifies the §3.4 rate bound for every audited node and
+// returns the violations found (nil if all audited nodes complied).
+func (net *Network) AuditViolations() []*core.Violation {
+	var out []*core.Violation
+	for _, env := range net.envelopes {
+		if v := env.Verify(); v != nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}

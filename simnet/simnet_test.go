@@ -1,0 +1,311 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"github.com/szte-dcs/tokenaccount/apps/gossiplearning"
+	"github.com/szte-dcs/tokenaccount/apps/pushgossip"
+	"github.com/szte-dcs/tokenaccount/core"
+	"github.com/szte-dcs/tokenaccount/overlay"
+	"github.com/szte-dcs/tokenaccount/protocol"
+	"github.com/szte-dcs/tokenaccount/trace"
+)
+
+func walkerConfig(t *testing.T, n int, strategy core.Strategy, seed uint64) Config {
+	t.Helper()
+	g, err := overlay.RandomKOut(n, 10, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Graph:         g,
+		Strategy:      func(int) core.Strategy { return strategy },
+		NewApp:        func(int) protocol.Application { return gossiplearning.NewWalker() },
+		Delta:         100,
+		TransferDelay: 1,
+		Seed:          seed,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	valid := walkerConfig(t, 20, core.PurelyProactive{}, 1)
+	if _, err := New(valid); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	mutations := []func(c *Config){
+		func(c *Config) { c.Graph = nil },
+		func(c *Config) { c.Strategy = nil },
+		func(c *Config) { c.NewApp = nil },
+		func(c *Config) { c.Delta = 0 },
+		func(c *Config) { c.TransferDelay = -1 },
+		func(c *Config) { c.InitialTokens = -1 },
+		func(c *Config) { c.Trace = trace.AlwaysOnline(5, 100) }, // too few nodes
+		func(c *Config) { c.AuditNodes = []int{99} },
+		func(c *Config) { c.Strategy = func(int) core.Strategy { return nil } },
+		func(c *Config) { c.NewApp = func(int) protocol.Application { return nil } },
+	}
+	for i, mutate := range mutations {
+		cfg := walkerConfig(t, 20, core.PurelyProactive{}, 1)
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("broken config %d accepted", i)
+		}
+	}
+}
+
+func TestProactiveNetworkSendsOnePerRound(t *testing.T) {
+	cfg := walkerConfig(t, 50, core.PurelyProactive{}, 2)
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 20
+	net.Run(rounds * cfg.Delta)
+	// Every node ticks once per Δ (random phase), so the total message count
+	// equals N × rounds exactly for the purely proactive strategy.
+	if got := net.MessagesSent(); got != 50*rounds {
+		t.Errorf("MessagesSent = %d, want %d", got, 50*rounds)
+	}
+	if net.MessagesDropped() != 0 {
+		t.Errorf("MessagesDropped = %d, want 0", net.MessagesDropped())
+	}
+	if net.MessagesDelivered() == 0 {
+		t.Error("no messages delivered")
+	}
+	stats := net.TotalStats()
+	if stats.ProactiveSent != 50*rounds || stats.ReactiveSent != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if net.OnlineCount() != 50 {
+		t.Errorf("OnlineCount = %d", net.OnlineCount())
+	}
+}
+
+func TestCommunicationBudgetIsStrategyIndependent(t *testing.T) {
+	// The core claim of the paper: all bounded token account strategies keep
+	// the same long-run communication budget (one message per node per Δ).
+	const n, rounds = 60, 60
+	strategies := []core.Strategy{
+		core.PurelyProactive{},
+		core.MustSimple(10),
+		core.MustGeneralized(5, 10),
+		core.MustRandomized(5, 10),
+	}
+	budget := float64(n * rounds)
+	for _, s := range strategies {
+		cfg := walkerConfig(t, n, s, 3)
+		net, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Run(rounds * cfg.Delta)
+		sent := float64(net.MessagesSent())
+		// The budget can be undershot by at most C unspent tokens per node
+		// plus stochastic slack; it can never be exceeded.
+		if sent > budget+1 {
+			t.Errorf("%s: sent %v messages, exceeds budget %v", s.Name(), sent, budget)
+		}
+		if sent < 0.5*budget {
+			t.Errorf("%s: sent %v messages, far below budget %v", s.Name(), sent, budget)
+		}
+	}
+}
+
+func TestTokenAccountSpeedsUpGossipLearning(t *testing.T) {
+	// Qualitative reproduction of the headline result: the randomized token
+	// account makes models walk much faster than the proactive baseline at
+	// the same budget.
+	const n, rounds = 100, 50
+	run := func(s core.Strategy) float64 {
+		cfg := walkerConfig(t, n, s, 7)
+		net, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		horizon := float64(rounds) * cfg.Delta
+		net.Run(horizon)
+		walkers := make([]*gossiplearning.Walker, n)
+		for i := 0; i < n; i++ {
+			walkers[i] = net.App(i).(*gossiplearning.Walker)
+		}
+		return gossiplearning.Progress(walkers, horizon, cfg.TransferDelay)
+	}
+	proactive := run(core.PurelyProactive{})
+	randomized := run(core.MustRandomized(5, 10))
+	if proactive <= 0 || randomized <= 0 {
+		t.Fatalf("progress values %v, %v should be positive", proactive, randomized)
+	}
+	if randomized < 2*proactive {
+		t.Errorf("randomized progress %v not clearly faster than proactive %v", randomized, proactive)
+	}
+}
+
+func TestRateLimitAuditAcrossNetwork(t *testing.T) {
+	cfg := walkerConfig(t, 40, core.MustGeneralized(1, 20), 11)
+	cfg.AuditNodes = []int{0, 1, 2, 3, 4}
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(80 * cfg.Delta)
+	if violations := net.AuditViolations(); len(violations) != 0 {
+		t.Errorf("rate limit violations: %v", violations)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() (int64, float64) {
+		cfg := walkerConfig(t, 40, core.MustRandomized(5, 10), 13)
+		net, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Run(30 * cfg.Delta)
+		return net.MessagesSent(), net.AverageTokens(false)
+	}
+	sent1, tokens1 := run()
+	sent2, tokens2 := run()
+	if sent1 != sent2 || tokens1 != tokens2 {
+		t.Errorf("runs with equal seeds differ: (%d,%v) vs (%d,%v)", sent1, tokens1, sent2, tokens2)
+	}
+}
+
+func TestChurnDropsMessagesAndTracksOnline(t *testing.T) {
+	const n = 30
+	g, err := overlay.RandomKOut(n, 5, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half the nodes are online only for the first half of the run.
+	tr := &trace.Trace{Duration: 1000, Segments: make([]trace.Segment, n)}
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			tr.Segments[i].Intervals = []trace.Interval{{Start: 0, End: 1000}}
+		} else {
+			tr.Segments[i].Intervals = []trace.Interval{{Start: 0, End: 500}}
+		}
+	}
+	cfg := Config{
+		Graph:         g,
+		Strategy:      func(int) core.Strategy { return core.MustSimple(5) },
+		NewApp:        func(int) protocol.Application { return pushgossip.New() },
+		Delta:         50,
+		TransferDelay: 1,
+		Trace:         tr,
+		Seed:          17,
+	}
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject updates periodically at node 0 so there is reactive traffic.
+	seq := int64(0)
+	net.SamplePeriodic(10, 25, func(float64) {
+		net.App(0).(*pushgossip.State).Inject(seq)
+		seq++
+	})
+	// Put a message in flight to node 1 just before it goes offline at t=500:
+	// it must be dropped at delivery time.
+	net.Engine().At(499.5, func() {
+		net.Send(0, 1, pushgossip.Update{Seq: 999})
+	})
+	net.Run(1000)
+	if net.OnlineCount() != n/2 {
+		t.Errorf("OnlineCount = %d, want %d", net.OnlineCount(), n/2)
+	}
+	if !net.Online(0) || net.Online(1) {
+		t.Error("online flags wrong after churn")
+	}
+	if net.MessagesDropped() == 0 {
+		t.Error("the in-flight message to an offline node was not dropped")
+	}
+	received := net.App(1).(*pushgossip.State).Seq()
+	if received == 999 {
+		t.Error("offline node received the dropped update")
+	}
+	// Offline nodes must not have accumulated rounds after they left.
+	offlineStats := net.Node(1).Stats()
+	if offlineStats.Rounds > 11 {
+		t.Errorf("offline node executed %d rounds, want ≈ 10 (only while online)", offlineStats.Rounds)
+	}
+}
+
+func TestOnRejoinHookFires(t *testing.T) {
+	const n = 10
+	g, err := overlay.RandomKOut(n, 3, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &trace.Trace{Duration: 300, Segments: make([]trace.Segment, n)}
+	for i := 0; i < n; i++ {
+		tr.Segments[i].Intervals = []trace.Interval{{Start: 0, End: 300}}
+	}
+	// Node 3 joins late.
+	tr.Segments[3].Intervals = []trace.Interval{{Start: 100, End: 300}}
+	rejoined := []int{}
+	cfg := Config{
+		Graph:         g,
+		Strategy:      func(int) core.Strategy { return core.MustSimple(3) },
+		NewApp:        func(int) protocol.Application { return pushgossip.New() },
+		Delta:         10,
+		TransferDelay: 0.1,
+		Trace:         tr,
+		Seed:          19,
+		OnRejoin:      func(_ *Network, node int) { rejoined = append(rejoined, node) },
+	}
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(300)
+	if len(rejoined) != 1 || rejoined[0] != 3 {
+		t.Errorf("rejoined = %v, want [3]", rejoined)
+	}
+}
+
+func TestRandomOnlineHelpers(t *testing.T) {
+	cfg := walkerConfig(t, 20, core.PurelyProactive{}, 23)
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := net.RandomOnlineNode(); !ok {
+		t.Error("RandomOnlineNode failed with everyone online")
+	}
+	if _, ok := net.RandomOnlineNeighbor(0); !ok {
+		t.Error("RandomOnlineNeighbor failed with everyone online")
+	}
+	// Force everyone offline and check the helpers report failure.
+	for i := range net.online {
+		net.online[i] = false
+	}
+	if _, ok := net.RandomOnlineNode(); ok {
+		t.Error("RandomOnlineNode succeeded with everyone offline")
+	}
+	if _, ok := net.RandomOnlineNeighbor(0); ok {
+		t.Error("RandomOnlineNeighbor succeeded with everyone offline")
+	}
+	if net.AverageTokens(true) != 0 {
+		t.Error("AverageTokens(onlineOnly) with no online nodes should be 0")
+	}
+}
+
+func TestAverageTokensApproachesPrediction(t *testing.T) {
+	// §4.3: for the randomized strategy the equilibrium balance is
+	// approximately A·C/(C+1) ≈ A. Use gossip learning where most messages
+	// are useful.
+	const n = 80
+	a, c := 5, 10
+	cfg := walkerConfig(t, n, core.MustRandomized(a, c), 29)
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(300 * cfg.Delta)
+	got := net.AverageTokens(false)
+	predicted := float64(a) * float64(c) / float64(c+1)
+	if math.Abs(got-predicted) > 2.5 {
+		t.Errorf("average tokens = %v, mean-field prediction %v", got, predicted)
+	}
+}

@@ -1,0 +1,203 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/szte-dcs/tokenaccount/protocol"
+)
+
+// MemoryBus connects any number of in-process endpoints. Messages are
+// delivered asynchronously by a per-endpoint delivery goroutine, optionally
+// after a configurable artificial latency, so the timing behaviour resembles
+// a real network. The zero value is not usable; call NewMemoryBus.
+type MemoryBus struct {
+	latency time.Duration
+
+	mu        sync.RWMutex
+	endpoints map[protocol.NodeID]*MemoryEndpoint
+	closed    bool
+
+	// delivered counts successfully enqueued messages; dropped counts
+	// messages addressed to missing or closed endpoints.
+	delivered int64
+	dropped   int64
+}
+
+// NewMemoryBus returns a bus that delays every delivery by the given latency
+// (zero means immediate delivery).
+func NewMemoryBus(latency time.Duration) *MemoryBus {
+	return &MemoryBus{
+		latency:   latency,
+		endpoints: make(map[protocol.NodeID]*MemoryEndpoint),
+	}
+}
+
+// Endpoint creates (or returns the existing) endpoint for the given node ID.
+func (b *MemoryBus) Endpoint(id protocol.NodeID) (*MemoryEndpoint, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	if ep, ok := b.endpoints[id]; ok {
+		return ep, nil
+	}
+	ep := &MemoryEndpoint{
+		bus:   b,
+		id:    id,
+		queue: make(chan queuedMessage, 1024),
+		done:  make(chan struct{}),
+	}
+	go ep.deliverLoop()
+	b.endpoints[id] = ep
+	return ep, nil
+}
+
+// Stats returns the number of delivered and dropped messages so far.
+func (b *MemoryBus) Stats() (delivered, dropped int64) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.delivered, b.dropped
+}
+
+// Close shuts down every endpoint.
+func (b *MemoryBus) Close() error {
+	b.mu.Lock()
+	endpoints := make([]*MemoryEndpoint, 0, len(b.endpoints))
+	for _, ep := range b.endpoints {
+		endpoints = append(endpoints, ep)
+	}
+	b.closed = true
+	b.mu.Unlock()
+	for _, ep := range endpoints {
+		_ = ep.Close()
+	}
+	return nil
+}
+
+func (b *MemoryBus) route(from, to protocol.NodeID, payload any) {
+	b.mu.RLock()
+	ep, ok := b.endpoints[to]
+	closed := b.closed
+	b.mu.RUnlock()
+	if !ok || closed {
+		b.countDrop()
+		return
+	}
+	if !ep.enqueue(queuedMessage{from: from, payload: payload}) {
+		b.countDrop()
+		return
+	}
+	b.mu.Lock()
+	b.delivered++
+	b.mu.Unlock()
+}
+
+func (b *MemoryBus) countDrop() {
+	b.mu.Lock()
+	b.dropped++
+	b.mu.Unlock()
+}
+
+type queuedMessage struct {
+	from    protocol.NodeID
+	payload any
+}
+
+// MemoryEndpoint is one node's attachment to a MemoryBus. It implements
+// Transport.
+type MemoryEndpoint struct {
+	bus   *MemoryBus
+	id    protocol.NodeID
+	queue chan queuedMessage
+	done  chan struct{}
+
+	mu      sync.RWMutex
+	handler Handler
+	closed  bool
+}
+
+var _ Transport = (*MemoryEndpoint)(nil)
+
+// ID returns the node ID of the endpoint.
+func (e *MemoryEndpoint) ID() protocol.NodeID { return e.id }
+
+// SetHandler implements Transport.
+func (e *MemoryEndpoint) SetHandler(h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+}
+
+// Send implements Transport: the payload is routed through the bus to the
+// destination endpoint.
+func (e *MemoryEndpoint) Send(to protocol.NodeID, payload any) error {
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	e.bus.route(e.id, to, payload)
+	return nil
+}
+
+// Close implements Transport. It is idempotent.
+func (e *MemoryEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	close(e.done)
+	e.mu.Unlock()
+	return nil
+}
+
+func (e *MemoryEndpoint) enqueue(m queuedMessage) bool {
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		return false
+	}
+	select {
+	case e.queue <- m:
+		return true
+	default:
+		// The endpoint's queue is full; drop rather than block the sender,
+		// mirroring how an overloaded UDP-like channel would behave.
+		return false
+	}
+}
+
+func (e *MemoryEndpoint) deliverLoop() {
+	for {
+		select {
+		case <-e.done:
+			return
+		case m := <-e.queue:
+			if e.bus.latency > 0 {
+				timer := time.NewTimer(e.bus.latency)
+				select {
+				case <-timer.C:
+				case <-e.done:
+					timer.Stop()
+					return
+				}
+			}
+			e.mu.RLock()
+			h := e.handler
+			e.mu.RUnlock()
+			if h != nil {
+				h(m.from, m.payload)
+			}
+		}
+	}
+}
+
+// String identifies the endpoint in logs.
+func (e *MemoryEndpoint) String() string { return fmt.Sprintf("memory-endpoint(%d)", e.id) }

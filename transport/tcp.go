@@ -1,0 +1,259 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/szte-dcs/tokenaccount/protocol"
+)
+
+// maxFrameSize bounds a single message on the wire (16 MiB); larger frames
+// indicate a protocol error or an attack and close the connection.
+const maxFrameSize = 16 << 20
+
+// TCPEndpoint is a Transport over TCP: it listens on a local address for
+// incoming messages and dials peers on demand, keeping one outgoing
+// connection per peer. Payloads must be registered in a Registry shared by
+// all participating processes.
+//
+// Connections are best-effort: if a peer cannot be reached the message is
+// dropped (and the error reported to the caller), which is exactly the
+// failure model the token account protocol is designed to tolerate.
+type TCPEndpoint struct {
+	id       protocol.NodeID
+	registry *Registry
+	listener net.Listener
+
+	mu       sync.Mutex
+	handler  Handler
+	peers    map[protocol.NodeID]string   // peer ID -> address
+	conns    map[protocol.NodeID]net.Conn // cached outgoing connections
+	accepted map[net.Conn]struct{}        // incoming connections being read
+	closed   bool
+	wg       sync.WaitGroup
+
+	// sendMu serializes frame writes so concurrent Send calls cannot
+	// interleave bytes on a shared connection.
+	sendMu sync.Mutex
+}
+
+var _ Transport = (*TCPEndpoint)(nil)
+
+// NewTCPEndpoint starts listening on addr (e.g. "127.0.0.1:0") and returns
+// the endpoint. The registry must contain every payload type that will be
+// sent or received.
+func NewTCPEndpoint(id protocol.NodeID, addr string, registry *Registry) (*TCPEndpoint, error) {
+	if registry == nil {
+		return nil, fmt.Errorf("transport: nil registry")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	e := &TCPEndpoint{
+		id:       id,
+		registry: registry,
+		listener: ln,
+		peers:    make(map[protocol.NodeID]string),
+		conns:    make(map[protocol.NodeID]net.Conn),
+		accepted: make(map[net.Conn]struct{}),
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr returns the actual listening address (useful with ":0").
+func (e *TCPEndpoint) Addr() string { return e.listener.Addr().String() }
+
+// ID returns the endpoint's node ID.
+func (e *TCPEndpoint) ID() protocol.NodeID { return e.id }
+
+// AddPeer registers the address of a peer node so that Send can reach it.
+func (e *TCPEndpoint) AddPeer(id protocol.NodeID, addr string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.peers[id] = addr
+}
+
+// SetHandler implements Transport.
+func (e *TCPEndpoint) SetHandler(h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+}
+
+// Send implements Transport: the payload is encoded through the registry and
+// written to the peer over a cached connection (dialled on first use).
+func (e *TCPEndpoint) Send(to protocol.NodeID, payload any) error {
+	data, err := e.registry.encode(e.id, payload)
+	if err != nil {
+		return err
+	}
+	conn, err := e.connTo(to)
+	if err != nil {
+		return err
+	}
+	e.sendMu.Lock()
+	err = writeFrame(conn, data)
+	e.sendMu.Unlock()
+	if err != nil {
+		// The cached connection broke; forget it so the next send redials.
+		e.mu.Lock()
+		if cached, ok := e.conns[to]; ok && cached == conn {
+			delete(e.conns, to)
+		}
+		e.mu.Unlock()
+		_ = conn.Close()
+		return fmt.Errorf("transport: send to %d: %w", to, err)
+	}
+	return nil
+}
+
+func (e *TCPEndpoint) connTo(to protocol.NodeID) (net.Conn, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if conn, ok := e.conns[to]; ok {
+		e.mu.Unlock()
+		return conn, nil
+	}
+	addr, ok := e.peers[to]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no address known for node %d", to)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		_ = conn.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := e.conns[to]; ok {
+		// Another goroutine raced us; keep the existing connection.
+		_ = conn.Close()
+		return existing, nil
+	}
+	e.conns[to] = conn
+	return conn, nil
+}
+
+// Close implements Transport.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := make([]net.Conn, 0, len(e.conns)+len(e.accepted))
+	for _, c := range e.conns {
+		conns = append(conns, c)
+	}
+	for c := range e.accepted {
+		conns = append(conns, c)
+	}
+	e.conns = map[protocol.NodeID]net.Conn{}
+	e.mu.Unlock()
+
+	err := e.listener.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	e.wg.Wait()
+	return err
+}
+
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		e.accepted[conn] = struct{}{}
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			defer func() {
+				e.mu.Lock()
+				delete(e.accepted, conn)
+				e.mu.Unlock()
+			}()
+			e.readLoop(conn)
+		}()
+	}
+}
+
+func (e *TCPEndpoint) readLoop(conn net.Conn) {
+	defer conn.Close()
+	for {
+		data, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		from, payload, err := e.registry.decode(data)
+		if err != nil {
+			// Undecodable peers are disconnected; the protocol tolerates the
+			// lost messages.
+			return
+		}
+		e.mu.Lock()
+		h := e.handler
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return
+		}
+		if h != nil {
+			h(from, payload)
+		}
+	}
+}
+
+// writeFrame writes a length-prefixed frame.
+func writeFrame(w io.Writer, data []byte) error {
+	if len(data) > maxFrameSize {
+		return fmt.Errorf("frame of %d bytes exceeds limit", len(data))
+	}
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], uint32(len(data)))
+	if _, err := w.Write(header[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+// readFrame reads a length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var header [4]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(header[:])
+	if size > maxFrameSize {
+		return nil, fmt.Errorf("frame of %d bytes exceeds limit", size)
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
