@@ -50,6 +50,7 @@ func run(args []string, w io.Writer) error {
 		appName      = fs.String("app", "gossip-learning", "application to sweep: "+strings.Join(experiment.Applications(), ", "))
 		kindName     = fs.String("kind", "randomized", "strategy family: "+strings.Join(sweepableKinds(), ", "))
 		scenarioName = fs.String("scenario", "failure-free", "failure scenario: "+strings.Join(experiment.Scenarios(), ", "))
+		runtimeName  = fs.String("runtime", "sim", "execution runtime (live takes :timescale, e.g. live:0.001): "+strings.Join(experiment.Runtimes(), ", "))
 		n            = fs.Int("n", 500, "number of nodes")
 		rounds       = fs.Int("rounds", 200, "number of proactive periods")
 		reps         = fs.Int("reps", 1, "repetitions per setting")
@@ -67,15 +68,25 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	rt, err := experiment.ParseRuntime(*runtimeName)
+	if err != nil {
+		return err
+	}
 	kind := experiment.StrategyKind(*kindName)
 	grid := experiment.ParameterGrid(kind)
 	if len(grid) == 0 {
 		return fmt.Errorf("no parameter grid for strategy kind %q", *kindName)
 	}
-	// The proactive baseline anchors the comparison.
+	// The proactive baseline anchors the comparison. The header only names
+	// the runtime when it is not the default simulator, keeping simulated
+	// sweep output in its historical form.
 	specs := append([]experiment.StrategySpec{experiment.Proactive()}, grid...)
-	fmt.Fprintf(w, "# %s on %s, %s, N=%d, %d rounds, %d repetition(s)\n",
-		kind, experiment.DriverLabel(app), experiment.DriverLabel(scenario), *n, *rounds, *reps)
+	runtimeNote := ""
+	if !experiment.IsDefaultRuntime(rt) {
+		runtimeNote = ", runtime=" + experiment.DriverLabel(rt)
+	}
+	fmt.Fprintf(w, "# %s on %s, %s, N=%d, %d rounds, %d repetition(s)%s\n",
+		kind, experiment.DriverLabel(app), experiment.DriverLabel(scenario), *n, *rounds, *reps, runtimeNote)
 	fmt.Fprintln(w, "strategy\tmsgs_per_node_per_round\tsteady_state_metric\tfinal_metric")
 	// Grid settings are embarrassingly parallel: simulate them on a bounded
 	// worker pool and print the rows in grid order so the output is identical
@@ -85,6 +96,7 @@ func run(args []string, w io.Writer) error {
 			App:         app,
 			Strategy:    specs[i],
 			Scenario:    scenario,
+			Runtime:     rt,
 			N:           *n,
 			Rounds:      *rounds,
 			Repetitions: *reps,

@@ -33,6 +33,7 @@ func TestSweepErrors(t *testing.T) {
 		{"-app", "bogus"},
 		{"-scenario", "bogus"},
 		{"-kind", "bogus"},
+		{"-runtime", "bogus"},
 		{"-badflag"},
 		{"-kind", "randomized", "-n", "1", "-rounds", "5"},
 	}

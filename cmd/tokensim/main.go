@@ -39,6 +39,7 @@ func run(args []string, w io.Writer) error {
 		appName      = fs.String("app", "gossip-learning", "application: "+strings.Join(experiment.Applications(), ", "))
 		strategyName = fs.String("strategy", "randomized:5:10", "strategy kind (with :params, e.g. simple:C, randomized:A:C): "+strings.Join(experiment.StrategyKinds(), ", "))
 		scenarioName = fs.String("scenario", "failure-free", "scenario: "+strings.Join(experiment.Scenarios(), ", "))
+		runtimeName  = fs.String("runtime", "sim", "execution runtime (live takes :timescale, e.g. live:0.001): "+strings.Join(experiment.Runtimes(), ", "))
 		n            = fs.Int("n", 1000, "number of nodes")
 		rounds       = fs.Int("rounds", 200, "number of proactive periods")
 		reps         = fs.Int("reps", 1, "independent repetitions to average")
@@ -63,10 +64,15 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	rt, err := experiment.ParseRuntime(*runtimeName)
+	if err != nil {
+		return err
+	}
 	cfg := experiment.Config{
 		App:            app,
 		Strategy:       spec,
 		Scenario:       scenario,
+		Runtime:        rt,
 		N:              *n,
 		Rounds:         *rounds,
 		Repetitions:    *reps,

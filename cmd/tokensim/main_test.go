@@ -62,11 +62,41 @@ func TestRunAuditedChaoticIteration(t *testing.T) {
 	}
 }
 
+// TestRunLiveRuntime exercises the -runtime flag end to end: the same spec
+// that simulates in virtual time completes a compressed real-time run with a
+// sampled metric series.
+func TestRunLiveRuntime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time run")
+	}
+	var out strings.Builder
+	err := run([]string{
+		"-app", "push-gossip",
+		"-strategy", "randomized:5:10",
+		"-scenario", "crash-burst:0.4",
+		"-runtime", "live:0.0002",
+		"-n", "24",
+		"-rounds", "10",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "/live(x0.0002)") {
+		t.Errorf("label does not mention the live runtime:\n%s", got)
+	}
+	if strings.Count(got, "\n") < 10 {
+		t.Errorf("expected ≈ 10 sample rows, got:\n%s", got)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{"-app", "bogus"},
 		{"-strategy", "bogus"},
 		{"-scenario", "bogus"},
+		{"-runtime", "bogus"},
+		{"-runtime", "live:0"},
 		{"-app", "chaotic-iteration", "-scenario", "smartphone-trace", "-n", "50", "-rounds", "5"},
 		{"-n", "1"},
 		{"-badflag"},

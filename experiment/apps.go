@@ -10,7 +10,7 @@ import (
 	"github.com/szte-dcs/tokenaccount/metrics"
 	"github.com/szte-dcs/tokenaccount/overlay"
 	"github.com/szte-dcs/tokenaccount/protocol"
-	"github.com/szte-dcs/tokenaccount/simnet"
+	"github.com/szte-dcs/tokenaccount/runtime"
 )
 
 // The demonstrator applications of §2, as self-registering drivers. They are
@@ -112,11 +112,13 @@ func (r *pushGossipRun) NewApp(node int) protocol.Application {
 }
 
 // Start installs the update injection: one new update every
-// InjectionInterval at a random online node.
+// InjectionInterval at a random online node. It schedules through the
+// runtime-neutral host, so injection works identically in the simulated and
+// the live runtime.
 func (r *pushGossipRun) Start(rc *RunContext) {
-	net := rc.Net
-	net.Engine().Every(r.cfg.InjectionInterval, r.cfg.InjectionInterval, func() bool {
-		node, ok := net.RandomOnlineNode()
+	h := rc.Host
+	h.Env().Every(r.cfg.InjectionInterval, r.cfg.InjectionInterval, func() bool {
+		node, ok := h.RandomOnlineNode()
 		if !ok {
 			return true
 		}
@@ -129,18 +131,18 @@ func (r *pushGossipRun) Start(rc *RunContext) {
 // OnRejoin implements the §4.1.2 pull: a rejoining node issues one pull
 // request to a random online neighbour; if that neighbour has a token it
 // answers with its freshest update, burning the token.
-func (r *pushGossipRun) OnRejoin(net *simnet.Network, node int) {
-	responder, ok := net.RandomOnlineNeighbor(node)
+func (r *pushGossipRun) OnRejoin(h *runtime.Host, node int) {
+	responder, ok := h.RandomOnlineNeighbor(node)
 	if !ok {
 		return
 	}
 	// The pull request itself travels one transfer delay; the answer
 	// (if any) travels another via RespondDirect -> Send.
-	net.Engine().Schedule(r.cfg.TransferDelay, func() {
-		if !net.Online(responder) || !net.Online(node) {
+	h.Env().Schedule(r.cfg.TransferDelay, func() {
+		if !h.Online(responder) || !h.Online(node) {
 			return
 		}
-		net.Node(responder).RespondDirect(protocol.NodeID(node))
+		h.Node(responder).RespondDirect(protocol.NodeID(node))
 	})
 }
 

@@ -4,7 +4,7 @@ import (
 	"github.com/szte-dcs/tokenaccount/metrics"
 	"github.com/szte-dcs/tokenaccount/overlay"
 	"github.com/szte-dcs/tokenaccount/protocol"
-	"github.com/szte-dcs/tokenaccount/simnet"
+	"github.com/szte-dcs/tokenaccount/runtime"
 	"github.com/szte-dcs/tokenaccount/trace"
 )
 
@@ -72,9 +72,9 @@ type ScenarioDriver interface {
 
 // RunContext carries the assembled pieces of one repetition to the AppRun
 // hooks (Start, Sample, OnRejoin). Config, Seed, Graph, Trace and OnlineOnly
-// are valid in every hook; Net and Online are set once the network exists,
-// i.e. in everything except NewApp (which runs while the network is being
-// assembled and receives no context).
+// are valid in every hook; Host and Online are set once the run is
+// assembled, i.e. in everything except NewApp (which runs while the network
+// is being assembled and receives no context).
 type RunContext struct {
 	// Config is the fully defaulted experiment configuration.
 	Config Config
@@ -84,8 +84,10 @@ type RunContext struct {
 	Graph *overlay.Graph
 	// Trace is the availability trace, nil in failure-free scenarios.
 	Trace *trace.Trace
-	// Net is the assembled simulated network.
-	Net *simnet.Network
+	// Host is the assembled run: the protocol nodes plus the environment
+	// (simulated or live) they execute on. Hooks schedule events through
+	// Host.Env(), so they run identically in every runtime.
+	Host *runtime.Host
 	// Online reports whether a node is currently online.
 	Online func(node int) bool
 	// OnlineOnly reports whether metrics should be computed over online
@@ -109,9 +111,24 @@ type RunStarter interface {
 
 // RejoinHandler is an optional AppRun capability: OnRejoin is invoked
 // whenever a node transitions from offline to online. It is only wired up
-// when the scenario supplies an availability trace.
+// when the scenario supplies an availability trace. The handler receives the
+// runtime-neutral host, so rejoin reactions (such as the push gossip pull)
+// behave the same in the simulated and the live runtime.
 type RejoinHandler interface {
-	OnRejoin(net *simnet.Network, node int)
+	OnRejoin(h *runtime.Host, node int)
+}
+
+// RuntimeDriver supplies the execution runtime of an experiment: it builds
+// the runtime.Env one repetition runs on. The two built-ins are SimRuntime
+// (the discrete-event engine in virtual time, the paper's setup) and
+// LiveRuntime (wall-clock timers and a real transport); external runtimes
+// plug in through RegisterRuntime.
+type RuntimeDriver interface {
+	// Name is the canonical registry name, used by ParseRuntime.
+	Name() string
+	// NewEnv constructs the environment of one repetition. The environment
+	// must provide at least cfg.N node slots, all initially online.
+	NewEnv(cfg Config, seed uint64) (runtime.Env, error)
 }
 
 // MetricFinisher is an optional AppDriver capability: FinishMetric

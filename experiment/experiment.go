@@ -3,14 +3,16 @@
 // strategy, an overlay, a failure scenario, the paper's timing parameters,
 // repeated runs and metric time series.
 //
-// The experiment layer is open: applications, scenarios and strategy
-// families are drivers resolved through name-keyed registries
-// (RegisterApplication, RegisterScenario, RegisterStrategy). The paper's
-// three applications (gossip learning, push gossip, chaotic power
-// iteration), its two scenarios (failure-free, smartphone trace) and its
-// five strategy kinds are self-registering built-ins; external packages add
-// new workloads through the same entry points without modifying the generic
-// run pipeline (see scenarios/crashburst for a complete example).
+// The experiment layer is open: applications, scenarios, strategy families
+// and execution runtimes are drivers resolved through name-keyed registries
+// (RegisterApplication, RegisterScenario, RegisterStrategy,
+// RegisterRuntime). The paper's three applications (gossip learning, push
+// gossip, chaotic power iteration), its two scenarios (failure-free,
+// smartphone trace), its five strategy kinds and the two runtimes (the
+// discrete-event simulator and the wall-clock live runtime) are
+// self-registering built-ins; external packages add new workloads through
+// the same entry points without modifying the generic run pipeline (see
+// scenarios/crashburst for a complete example).
 package experiment
 
 import (
@@ -19,7 +21,7 @@ import (
 
 	"github.com/szte-dcs/tokenaccount/core"
 	"github.com/szte-dcs/tokenaccount/metrics"
-	"github.com/szte-dcs/tokenaccount/simnet"
+	"github.com/szte-dcs/tokenaccount/runtime"
 )
 
 // Paper-default timing parameters (§4.1): a virtual two-day period divided
@@ -55,6 +57,10 @@ type Config struct {
 	// Scenario is the failure model driver (FailureFree, SmartphoneTrace, or
 	// any driver resolved through ParseScenario). Nil means FailureFree.
 	Scenario ScenarioDriver
+	// Runtime is the execution runtime driver (SimRuntime, LiveRuntime, or
+	// any driver resolved through ParseRuntime). Nil means SimRuntime: the
+	// discrete-event engine in virtual time.
+	Runtime RuntimeDriver
 	// Seed drives all randomness; repetition r uses Seed+r.
 	Seed uint64
 	// Repetitions is the number of independent runs to average (the paper
@@ -101,6 +107,9 @@ func (c Config) WithDefaults() Config {
 	if c.Scenario == nil {
 		c.Scenario = FailureFree
 	}
+	if c.Runtime == nil {
+		c.Runtime = SimRuntime
+	}
 	if c.Repetitions == 0 {
 		c.Repetitions = 1
 	}
@@ -134,6 +143,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("experiment: no application driver set (use a built-in such as experiment.GossipLearning, or ParseApplication)")
 	case c.Scenario == nil:
 		return fmt.Errorf("experiment: no scenario driver set")
+	case c.Runtime == nil:
+		return fmt.Errorf("experiment: no runtime driver set")
 	case c.N < 2:
 		return fmt.Errorf("experiment: N = %d, need ≥ 2", c.N)
 	case c.Rounds < 1:
@@ -169,9 +180,14 @@ func (c Config) Duration() float64 { return float64(c.Rounds) * c.Delta }
 // scenario, suitable for figure legends. Drivers that implement fmt.Stringer
 // are rendered through it, so parameterized scenarios (crash-burst:0.4 vs
 // crash-burst:0.5) stay distinguishable; the built-ins' String equals their
-// Name.
+// Name. Runs on a non-default runtime append its label, so simulated output
+// keeps its historical form while live runs stay distinguishable.
 func (c Config) Label() string {
-	return fmt.Sprintf("%s/%s/%s/N=%d", DriverLabel(c.App), c.Strategy.Label(), DriverLabel(c.Scenario), c.N)
+	label := fmt.Sprintf("%s/%s/%s/N=%d", DriverLabel(c.App), c.Strategy.Label(), DriverLabel(c.Scenario), c.N)
+	if !IsDefaultRuntime(c.Runtime) {
+		label += "/" + DriverLabel(c.Runtime)
+	}
+	return label
 }
 
 // DriverLabel renders an AppDriver or ScenarioDriver for display: through
@@ -228,11 +244,12 @@ type singleRun struct {
 	sent   int64
 }
 
-// runOnce simulates one repetition. It is fully generic: everything
-// application- or scenario-specific goes through the AppDriver and
-// ScenarioDriver interfaces (and the optional capabilities of driver.go), so
-// registered extensions run through exactly the same code path as the paper
-// built-ins.
+// runOnce executes one repetition. It is fully generic: everything
+// application-, scenario- or runtime-specific goes through the AppDriver,
+// ScenarioDriver and RuntimeDriver interfaces (and the optional capabilities
+// of driver.go), so registered extensions run through exactly the same code
+// path as the paper built-ins — and the same repetition assembly runs on the
+// discrete-event engine and on the wall-clock runtime alike.
 func runOnce(cfg Config, seed uint64) (*singleRun, error) {
 	strategy, err := cfg.Strategy.Build()
 	if err != nil {
@@ -262,14 +279,18 @@ func runOnce(cfg Config, seed uint64) (*singleRun, error) {
 		OnlineOnly: cfg.Scenario.Churny(),
 	}
 
-	simCfg := simnet.Config{
+	env, err := cfg.Runtime.NewEnv(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+
+	hostCfg := runtime.Config{
 		Graph:           graph,
 		Strategy:        func(int) core.Strategy { return strategy },
 		NewApp:          appRun.NewApp,
 		Delta:           cfg.Delta,
-		TransferDelay:   cfg.TransferDelay,
 		Trace:           availability,
-		Seed:            seed,
 		DropProbability: cfg.DropProbability,
 	}
 	if cfg.AuditRateLimit {
@@ -281,21 +302,21 @@ func runOnce(cfg Config, seed uint64) (*singleRun, error) {
 			audit = 50
 		}
 		for i := 0; i < audit && i < cfg.N; i++ {
-			simCfg.AuditNodes = append(simCfg.AuditNodes, i)
+			hostCfg.AuditNodes = append(hostCfg.AuditNodes, i)
 		}
 	}
 	// Rejoin hooks can only fire under churn, so they are wired up only when
 	// the scenario supplied a trace.
 	if rh, ok := appRun.(RejoinHandler); ok && availability != nil {
-		simCfg.OnRejoin = rh.OnRejoin
+		hostCfg.OnRejoin = rh.OnRejoin
 	}
 
-	net, err := simnet.New(simCfg)
+	host, err := runtime.NewHost(env, hostCfg)
 	if err != nil {
 		return nil, err
 	}
-	rc.Net = net
-	rc.Online = net.Online
+	rc.Host = host
+	rc.Online = host.Online
 
 	if s, ok := appRun.(RunStarter); ok {
 		s.Start(rc)
@@ -308,16 +329,18 @@ func runOnce(cfg Config, seed uint64) (*singleRun, error) {
 	sample := func(t float64) {
 		run.metric.Add(t, appRun.Sample(t, rc))
 		if run.tokens != nil {
-			run.tokens.Add(t, net.AverageTokens(rc.OnlineOnly))
+			run.tokens.Add(t, host.AverageTokens(rc.OnlineOnly))
 		}
 	}
-	net.SamplePeriodic(cfg.SampleEvery, cfg.SampleEvery, sample)
+	host.SamplePeriodic(cfg.SampleEvery, cfg.SampleEvery, sample)
 
-	net.Run(cfg.Duration())
-	run.sent = net.MessagesSent()
+	if err := host.Run(cfg.Duration()); err != nil {
+		return nil, fmt.Errorf("experiment: runtime %s: %w", DriverLabel(cfg.Runtime), err)
+	}
+	run.sent = host.MessagesSent()
 
 	if cfg.AuditRateLimit {
-		if violations := net.AuditViolations(); len(violations) > 0 {
+		if violations := host.AuditViolations(); len(violations) > 0 {
 			return nil, fmt.Errorf("experiment: rate limit violated: %v", violations[0])
 		}
 	}

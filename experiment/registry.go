@@ -74,6 +74,7 @@ var (
 	applications = newRegistry[AppDriver]("application")
 	scenarios    = newRegistry[ScenarioFactory]("scenario")
 	strategies   = newRegistry[StrategyDriver]("strategy kind")
+	runtimes     = newRegistry[RuntimeFactory]("runtime")
 )
 
 // RegisterApplication adds an application driver to the registry under
@@ -172,6 +173,42 @@ func MustRegisterStrategy(driver StrategyDriver, aliases ...string) {
 // StrategyKinds returns the canonical names of all registered strategy
 // families in sorted order.
 func StrategyKinds() []string { return strategies.list() }
+
+// RuntimeFactory builds a RuntimeDriver from the colon-separated parameters
+// following the runtime name in a spec string such as "live:0.001".
+// Parameter-free runtimes must reject a non-empty args slice.
+type RuntimeFactory func(args []string) (RuntimeDriver, error)
+
+// RegisterRuntime adds a runtime factory to the registry. The factory is
+// invoked by ParseRuntime with the parameters following the name, so a
+// single registered name can serve a parameterized family of runtimes. It
+// fails if any of the names is already taken.
+func RegisterRuntime(name string, factory RuntimeFactory, aliases ...string) error {
+	return runtimes.register(name, factory, aliases...)
+}
+
+// MustRegisterRuntime is RegisterRuntime, panicking on error.
+func MustRegisterRuntime(name string, factory RuntimeFactory, aliases ...string) {
+	if err := RegisterRuntime(name, factory, aliases...); err != nil {
+		panic(err)
+	}
+}
+
+// ParseRuntime resolves a runtime spec string of the form
+// "name[:param[:param...]]" against the registry: the name (or alias)
+// selects the factory, which receives the remaining parts.
+func ParseRuntime(spec string) (RuntimeDriver, error) {
+	parts := strings.Split(strings.TrimSpace(spec), ":")
+	if f, ok := runtimes.lookup(parts[0]); ok {
+		return f(parts[1:])
+	}
+	return nil, fmt.Errorf("experiment: unknown runtime %q (registered: %s)",
+		spec, strings.Join(Runtimes(), ", "))
+}
+
+// Runtimes returns the canonical names of all registered runtimes in sorted
+// order.
+func Runtimes() []string { return runtimes.list() }
 
 func strategyDriver(kind StrategyKind) (StrategyDriver, error) {
 	if d, ok := strategies.lookup(string(kind)); ok {

@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/szte-dcs/tokenaccount/live"
+	"github.com/szte-dcs/tokenaccount/runtime"
+	"github.com/szte-dcs/tokenaccount/simnet"
+)
+
+// The execution runtimes, as self-registering drivers. They are ordinary
+// RuntimeDriver values: comparing against them (cfg.Runtime ==
+// experiment.SimRuntime) identifies the built-ins.
+var (
+	// SimRuntime executes repetitions on the discrete-event engine in
+	// virtual time — the paper's evaluation setup, deterministic and as fast
+	// as the hardware allows.
+	SimRuntime RuntimeDriver = simRuntime{}
+	// LiveRuntime executes repetitions in real time: wall-clock timers, one
+	// transport endpoint per node over the in-process memory bus, and the
+	// default time compression of DefaultLiveTimeScale. It turns the same
+	// experiment spec into a scaled-down deployment rehearsal.
+	LiveRuntime RuntimeDriver = liveRuntime{}
+)
+
+// IsDefaultRuntime reports whether d is (an instance of) the default
+// simulated runtime, whose label the output formats suppress so simulated
+// output keeps its historical form. A nil driver counts as default, since
+// WithDefaults resolves nil to SimRuntime.
+func IsDefaultRuntime(d RuntimeDriver) bool {
+	return d == nil || d.Name() == SimRuntime.Name()
+}
+
+// DefaultLiveTimeScale is the time compression of the "live" runtime when no
+// explicit scale parameter is given: one run-second lasts 0.1 wall-clock
+// milliseconds, mapping the paper's Δ = 172.8 s proactive period to ≈ 17 ms,
+// so a few hundred rounds complete in seconds of real time.
+const DefaultLiveTimeScale = 1e-4
+
+func init() {
+	MustRegisterRuntime("sim", func(args []string) (RuntimeDriver, error) {
+		if len(args) > 0 {
+			return nil, fmt.Errorf("experiment: runtime %q takes no parameters, got %q",
+				"sim", strings.Join(args, ":"))
+		}
+		return SimRuntime, nil
+	}, "simnet", "virtual")
+	MustRegisterRuntime("live", liveRuntimeFactory, "real", "wall")
+}
+
+// simRuntime is the discrete-event RuntimeDriver.
+type simRuntime struct{}
+
+func (simRuntime) Name() string     { return "sim" }
+func (d simRuntime) String() string { return d.Name() }
+
+func (simRuntime) NewEnv(cfg Config, seed uint64) (runtime.Env, error) {
+	return simnet.NewEnv(simnet.EnvConfig{
+		N:             cfg.N,
+		Seed:          seed,
+		TransferDelay: cfg.TransferDelay,
+	})
+}
+
+// liveRuntime is the wall-clock RuntimeDriver. The zero value uses the
+// default time compression.
+type liveRuntime struct {
+	// TimeScale is the wall-clock duration of one run-second; 0 selects
+	// DefaultLiveTimeScale.
+	TimeScale float64
+}
+
+// liveRuntimeFactory parses "live[:timescale]" specs such as "live:0.001".
+func liveRuntimeFactory(args []string) (RuntimeDriver, error) {
+	r := liveRuntime{}
+	if len(args) > 1 {
+		return nil, fmt.Errorf("experiment: unexpected trailing parameter(s) %v (want live[:timescale])", args[1:])
+	}
+	if len(args) == 1 {
+		scale, err := strconv.ParseFloat(args[0], 64)
+		if err != nil || scale <= 0 || math.IsInf(scale, 1) || math.IsNaN(scale) {
+			return nil, fmt.Errorf("experiment: bad live timescale %q (want a positive, finite number of wall-seconds per run-second)", args[0])
+		}
+		r.TimeScale = scale
+	}
+	return r, nil
+}
+
+func (liveRuntime) Name() string { return "live" }
+
+// String renders the runtime with its effective time scale, so differently
+// compressed instances stay distinguishable in labels.
+func (l liveRuntime) String() string {
+	if l.TimeScale == 0 {
+		return "live"
+	}
+	return fmt.Sprintf("live(x%g)", l.TimeScale)
+}
+
+func (l liveRuntime) scale() float64 {
+	if l.TimeScale == 0 {
+		return DefaultLiveTimeScale
+	}
+	return l.TimeScale
+}
+
+func (l liveRuntime) NewEnv(cfg Config, seed uint64) (runtime.Env, error) {
+	return live.NewEnv(live.EnvConfig{
+		N:         cfg.N,
+		Seed:      seed,
+		TimeScale: l.scale(),
+		Latency:   cfg.TransferDelay,
+	})
+}

@@ -110,6 +110,17 @@ func (c *Cluster) Stop() {
 // N returns the number of nodes.
 func (c *Cluster) N() int { return len(c.services) }
 
+// SetOnline brings node i back online (see Service.SetOnline).
+func (c *Cluster) SetOnline(i int) { c.services[i].SetOnline(true) }
+
+// SetOffline takes node i offline mid-run: its proactive loop pauses and its
+// incoming messages are dropped until SetOnline. The other nodes keep
+// running, so the cluster behaves like a network under churn.
+func (c *Cluster) SetOffline(i int) { c.services[i].SetOnline(false) }
+
+// Online reports whether node i is currently online.
+func (c *Cluster) Online(i int) bool { return c.services[i].Online() }
+
 // Service returns the i-th service.
 func (c *Cluster) Service(i int) *Service { return c.services[i] }
 

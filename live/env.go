@@ -1,0 +1,500 @@
+package live
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"github.com/szte-dcs/tokenaccount/internal/rng"
+	"github.com/szte-dcs/tokenaccount/protocol"
+	"github.com/szte-dcs/tokenaccount/runtime"
+	"github.com/szte-dcs/tokenaccount/transport"
+)
+
+// EnvConfig parameterizes the wall-clock environment.
+type EnvConfig struct {
+	// N is the number of node slots (required, 1 ≤ N ≤ 65536). All nodes
+	// start online.
+	N int
+	// Seed drives every randomness stream of the run (see Env.Rand).
+	Seed uint64
+	// TimeScale compresses run time: one run-second lasts TimeScale
+	// wall-clock seconds. The default 1 runs in real time; 0.001 compresses
+	// the paper's Δ = 172.8 s proactive period to 172.8 ms, letting a
+	// simulation-scale config finish a live run in seconds. Must be > 0.
+	TimeScale float64
+	// Latency is the per-message transport latency in run-seconds (scaled to
+	// wall time by TimeScale). It only applies to the built-in memory bus.
+	Latency float64
+	// NewTransport optionally overrides the built-in in-process memory bus:
+	// it must return the transport endpoint of node i, whose Send(to, ...)
+	// reaches the endpoint returned for node `to`. Use it to run the
+	// environment over TCP endpoints. Nil selects the memory bus.
+	NewTransport func(i int) (transport.Transport, error)
+	// QueueSize bounds the delivery queue between the transport goroutines
+	// and the run loop (default 4096). When the queue is full further
+	// messages are dropped, which the protocol tolerates.
+	QueueSize int
+}
+
+// Env is the wall-clock implementation of runtime.Env: timers fire at real
+// deadlines (optionally compressed by TimeScale), messages travel over a
+// real transport (the in-process memory bus by default, TCP via
+// NewTransport), and all callbacks — timers and deliveries alike — are
+// serialized on the run loop goroutine inside Run, so hosts and protocol
+// nodes need no locking. It is the deployable counterpart of simnet.Env and
+// turns the same assembly into the paper's "traffic shaping service".
+type Env struct {
+	cfg   EnvConfig
+	bus   *transport.MemoryBus
+	trans []transport.Transport
+
+	deliver runtime.DeliverFunc
+
+	mu      sync.Mutex
+	started bool
+	start   time.Time
+	events  eventHeap
+	seq     uint64
+	online  []bool
+	closed  bool
+
+	wake  chan struct{}
+	inbox chan envDelivery
+
+	// droppedInbox counts deliveries discarded because the run loop could
+	// not keep up with the transport.
+	droppedInbox int64
+}
+
+var _ runtime.Env = (*Env)(nil)
+
+type envDelivery struct {
+	from, to protocol.NodeID
+	payload  any
+}
+
+// NewEnv builds a wall-clock environment with every node online and one
+// transport endpoint per node.
+func NewEnv(cfg EnvConfig) (*Env, error) {
+	switch {
+	case cfg.N < 1 || cfg.N > 65536:
+		return nil, fmt.Errorf("live: EnvConfig.N = %d outside [1, 65536]", cfg.N)
+	case cfg.TimeScale < 0 || math.IsInf(cfg.TimeScale, 1) || math.IsNaN(cfg.TimeScale):
+		return nil, fmt.Errorf("live: TimeScale = %v, need a positive finite value", cfg.TimeScale)
+	case cfg.Latency < 0 || math.IsInf(cfg.Latency, 1) || math.IsNaN(cfg.Latency):
+		return nil, fmt.Errorf("live: Latency = %v, need ≥ 0 and finite", cfg.Latency)
+	case cfg.QueueSize < 0:
+		return nil, fmt.Errorf("live: QueueSize = %d, need ≥ 0", cfg.QueueSize)
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 1
+	}
+	if cfg.QueueSize == 0 {
+		cfg.QueueSize = 4096
+	}
+	e := &Env{
+		cfg:    cfg,
+		trans:  make([]transport.Transport, cfg.N),
+		online: make([]bool, cfg.N),
+		wake:   make(chan struct{}, 1),
+		inbox:  make(chan envDelivery, cfg.QueueSize),
+	}
+	for i := range e.online {
+		e.online[i] = true
+	}
+	if cfg.NewTransport == nil {
+		latency := e.wallDuration(cfg.Latency)
+		e.bus = transport.NewMemoryBus(latency)
+	}
+	for i := 0; i < cfg.N; i++ {
+		var (
+			tr  transport.Transport
+			err error
+		)
+		if cfg.NewTransport != nil {
+			tr, err = cfg.NewTransport(i)
+		} else {
+			tr, err = e.bus.Endpoint(protocol.NodeID(i))
+		}
+		if err != nil {
+			_ = e.Close()
+			return nil, fmt.Errorf("live: transport for node %d: %w", i, err)
+		}
+		if tr == nil {
+			_ = e.Close()
+			return nil, fmt.Errorf("live: NewTransport(%d) returned nil", i)
+		}
+		to := protocol.NodeID(i)
+		tr.SetHandler(func(from protocol.NodeID, payload any) {
+			e.enqueue(envDelivery{from: from, to: to, payload: payload})
+		})
+		e.trans[i] = tr
+	}
+	return e, nil
+}
+
+// Bus returns the built-in memory bus, or nil when a custom transport is in
+// use. Tests use it to read delivery statistics and to inject faults.
+func (e *Env) Bus() *transport.MemoryBus { return e.bus }
+
+// DroppedDeliveries returns the number of messages discarded because the run
+// loop's delivery queue was full.
+func (e *Env) DroppedDeliveries() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.droppedInbox
+}
+
+// enqueue hands a transport delivery to the run loop, dropping it if the
+// loop cannot keep up.
+func (e *Env) enqueue(d envDelivery) {
+	select {
+	case e.inbox <- d:
+	default:
+		e.mu.Lock()
+		e.droppedInbox++
+		e.mu.Unlock()
+	}
+}
+
+// wallDuration converts a span of run time to wall time.
+func (e *Env) wallDuration(seconds float64) time.Duration {
+	wall := seconds * e.cfg.TimeScale
+	// Clamp to a year so absurd horizons cannot overflow time.Duration.
+	const maxWall = 365 * 24 * 3600.0
+	if wall > maxWall {
+		wall = maxWall
+	}
+	return time.Duration(wall * float64(time.Second))
+}
+
+// ensureStarted pins the run's wall-clock origin on first use.
+func (e *Env) ensureStarted() {
+	e.mu.Lock()
+	if !e.started {
+		e.started = true
+		e.start = time.Now()
+	}
+	e.mu.Unlock()
+}
+
+// Now implements runtime.Env: wall time since the start of the run,
+// expressed in run-seconds. Before the run starts it returns 0.
+func (e *Env) Now() float64 {
+	e.mu.Lock()
+	started := e.started
+	start := e.start
+	e.mu.Unlock()
+	if !started {
+		return 0
+	}
+	return time.Since(start).Seconds() / e.cfg.TimeScale
+}
+
+// At implements runtime.Env. Unlike the simulated environment it may be
+// called from any goroutine; the callback still runs on the run loop.
+func (e *Env) At(t float64, fn func()) {
+	if fn == nil {
+		panic("live: At with nil callback")
+	}
+	if now := e.Now(); t < now || t != t {
+		t = now
+	}
+	e.mu.Lock()
+	e.seq++
+	e.events.push(timedEvent{time: t, seq: e.seq, fn: fn})
+	e.mu.Unlock()
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Schedule implements runtime.Env.
+func (e *Env) Schedule(delay float64, fn func()) {
+	if delay < 0 || delay != delay {
+		delay = 0
+	}
+	e.At(e.Now()+delay, fn)
+}
+
+// Every implements runtime.Env. Repetitions re-arm on the nominal grid
+// now+phase+k·interval rather than relative to the (slightly late) wall time
+// of each firing, so a periodic event keeps the cadence the simulated
+// environment would produce instead of accumulating scheduling drift.
+func (e *Env) Every(phase, interval float64, fn func() bool) {
+	if fn == nil {
+		panic("live: Every with nil callback")
+	}
+	if interval <= 0 || interval != interval {
+		panic(fmt.Sprintf("live: Every with non-positive interval %v", interval))
+	}
+	if phase < 0 || phase != phase {
+		phase = 0
+	}
+	next := e.Now() + phase
+	var tick func()
+	tick = func() {
+		if fn() {
+			next += interval
+			e.At(next, tick)
+		}
+	}
+	e.At(next, tick)
+}
+
+// Rand implements runtime.Env: stream s is a SplitMix64 generator seeded
+// with rng.Derive(seed, s), exactly as in the simulated environment, so a
+// live run and a simulated run of the same seed draw from the same streams.
+func (e *Env) Rand(stream uint64) protocol.Rand { return rng.New(rng.Derive(e.cfg.Seed, stream)) }
+
+// Send implements runtime.Env: the payload enters the sender's transport
+// endpoint and re-surfaces on the run loop via the delivery queue.
+func (e *Env) Send(from, to protocol.NodeID, payload any) {
+	if int(from) < 0 || int(from) >= len(e.trans) {
+		return
+	}
+	// Delivery failures are message loss, which the protocol tolerates.
+	_ = e.trans[from].Send(to, payload)
+}
+
+// SetDeliver implements runtime.Env.
+func (e *Env) SetDeliver(fn runtime.DeliverFunc) { e.deliver = fn }
+
+// N implements runtime.Env.
+func (e *Env) N() int { return len(e.online) }
+
+// Online implements runtime.Env. It may be called from any goroutine.
+func (e *Env) Online(node int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.online[node]
+}
+
+// SetOnline implements runtime.Env.
+func (e *Env) SetOnline(node int) {
+	e.mu.Lock()
+	e.online[node] = true
+	e.mu.Unlock()
+}
+
+// SetOffline implements runtime.Env. Messages already queued for the node
+// are dropped at delivery time by the host's online check.
+func (e *Env) SetOffline(node int) {
+	e.mu.Lock()
+	e.online[node] = false
+	e.mu.Unlock()
+}
+
+// popDue removes and returns the earliest event that is due: scheduled at or
+// before both the current run time and the horizon.
+func (e *Env) popDue(now, until float64) (func(), bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.events) == 0 {
+		return nil, false
+	}
+	head := e.events[0]
+	if head.time > now || head.time > until {
+		return nil, false
+	}
+	e.events.pop()
+	return head.fn, true
+}
+
+// nextEventTime returns the run time of the earliest pending event within
+// the horizon.
+func (e *Env) nextEventTime(until float64) (float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.events) == 0 || e.events[0].time > until {
+		return 0, false
+	}
+	return e.events[0].time, true
+}
+
+// dispatch runs one transport delivery on the run loop.
+func (e *Env) dispatch(d envDelivery) {
+	if e.deliver != nil {
+		e.deliver(d.from, d.to, d.payload)
+	}
+}
+
+// Run implements runtime.Env: it owns the run loop until the wall-clock
+// deadline corresponding to the horizon has passed, executing scheduled
+// callbacks at their deadlines and transport deliveries as they arrive.
+// Events scheduled past the horizon stay pending, mirroring the simulated
+// environment.
+func (e *Env) Run(until float64) error {
+	e.ensureStarted()
+	e.mu.Lock()
+	closed := e.closed
+	deadline := e.start.Add(e.wallDuration(until))
+	e.mu.Unlock()
+	if closed {
+		return transport.ErrClosed
+	}
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		// Execute everything due at the current run time.
+		for {
+			fn, ok := e.popDue(e.Now(), until)
+			if !ok {
+				break
+			}
+			fn()
+		}
+		// Then drain pending deliveries.
+		select {
+		case d := <-e.inbox:
+			e.dispatch(d)
+			continue
+		default:
+		}
+		now := time.Now()
+		if !now.Before(deadline) {
+			// The wall deadline has passed, so every event still pending
+			// within the horizon is due by definition — most importantly the
+			// final metric sample scheduled at exactly the horizon, which
+			// must not lose a race against the deadline check. Callbacks
+			// executed here cannot re-arm within the horizon: At clamps new
+			// events to the current run time, which is already past it.
+			for {
+				fn, ok := e.popDue(until, until)
+				if !ok {
+					break
+				}
+				fn()
+			}
+			for {
+				select {
+				case d := <-e.inbox:
+					e.dispatch(d)
+					continue
+				default:
+				}
+				break
+			}
+			return nil
+		}
+		// Sleep until the next event, the deadline, a cross-goroutine
+		// schedule, or a delivery — whichever comes first.
+		next := deadline
+		if t, ok := e.nextEventTime(until); ok {
+			if w := e.start.Add(e.wallDuration(t)); w.Before(next) {
+				next = w
+			}
+		}
+		wait := next.Sub(now)
+		if wait < 0 {
+			wait = 0
+		}
+		timer.Reset(wait)
+		select {
+		case <-timer.C:
+		case <-e.wake:
+			stopTimer(timer)
+		case d := <-e.inbox:
+			stopTimer(timer)
+			e.dispatch(d)
+		}
+	}
+}
+
+// stopTimer stops a timer and drains its channel if it already fired.
+func stopTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}
+
+// Close implements runtime.Env: it shuts down every transport endpoint.
+// Pending timers and undelivered messages are discarded.
+func (e *Env) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	var first error
+	for _, tr := range e.trans {
+		if tr == nil {
+			continue
+		}
+		if err := tr.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if e.bus != nil {
+		if err := e.bus.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// timedEvent is one scheduled callback, ordered by (time, seq).
+type timedEvent struct {
+	time float64
+	seq  uint64
+	fn   func()
+}
+
+// eventHeap is a binary min-heap of timedEvents.
+type eventHeap []timedEvent
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(ev timedEvent) {
+	*h = append(*h, ev)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h).less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() timedEvent {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = timedEvent{}
+	*h = old[:n]
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && (*h).less(left, smallest) {
+			smallest = left
+		}
+		if right < n && (*h).less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,180 @@
+package live_test
+
+import (
+	"testing"
+
+	"github.com/szte-dcs/tokenaccount/apps/pushgossip"
+	"github.com/szte-dcs/tokenaccount/core"
+	"github.com/szte-dcs/tokenaccount/live"
+	"github.com/szte-dcs/tokenaccount/overlay"
+	"github.com/szte-dcs/tokenaccount/protocol"
+	"github.com/szte-dcs/tokenaccount/runtime"
+	"github.com/szte-dcs/tokenaccount/simnet"
+)
+
+func TestEnvConfigValidation(t *testing.T) {
+	broken := []live.EnvConfig{
+		{N: 0},
+		{N: 100000},
+		{N: 4, TimeScale: -1},
+		{N: 4, Latency: -1},
+		{N: 4, QueueSize: -1},
+	}
+	for i, cfg := range broken {
+		if env, err := live.NewEnv(cfg); err == nil {
+			env.Close()
+			t.Errorf("broken env config %d accepted", i)
+		}
+	}
+}
+
+// TestEnvTimersFireInOrder schedules a mix of At/Schedule/Every callbacks
+// and checks they run in run-time order at roughly the right wall times.
+func TestEnvTimersFireInOrder(t *testing.T) {
+	env, err := live.NewEnv(live.EnvConfig{N: 2, TimeScale: 0.001}) // 1 run-second = 1 ms
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	var order []int
+	env.At(30, func() { order = append(order, 2) })
+	env.At(10, func() { order = append(order, 1) })
+	env.Every(45, 20, func() bool { order = append(order, 3); return len(order) < 6 })
+	env.Schedule(120, func() { order = append(order, 4) })
+	env.At(300, func() { order = append(order, 9) }) // beyond the horizon: must not run
+	if err := env.Run(150); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 3, 3, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if now := env.Now(); now < 150 {
+		t.Errorf("Now() = %v after Run(150)", now)
+	}
+}
+
+func TestEnvLifecycleAndRand(t *testing.T) {
+	env, err := live.NewEnv(live.EnvConfig{N: 3, Seed: 77, TimeScale: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	if env.N() != 3 || !env.Online(1) {
+		t.Fatal("fresh env should have every node online")
+	}
+	env.SetOffline(1)
+	if env.Online(1) {
+		t.Error("SetOffline had no effect")
+	}
+	env.SetOnline(1)
+	if !env.Online(1) {
+		t.Error("SetOnline had no effect")
+	}
+	// The live environment derives the same random streams as the simulated
+	// one for the same seed — the documented cross-runtime property.
+	sim, err := simnet.NewEnv(simnet.EnvConfig{N: 3, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := env.Rand(runtime.StreamNet), sim.Rand(runtime.StreamNet)
+	for i := 0; i < 10; i++ {
+		if x, y := a.Float64(), b.Float64(); x != y {
+			t.Fatalf("stream diverged at draw %d: %v vs %v", i, x, y)
+		}
+	}
+}
+
+func TestEnvCloseIsIdempotentAndStopsRun(t *testing.T) {
+	env, err := live.NewEnv(live.EnvConfig{N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Close(); err != nil {
+		t.Fatal("second Close should be a no-op")
+	}
+	if err := env.Run(1); err == nil {
+		t.Error("Run after Close should fail")
+	}
+}
+
+// TestHostOverLiveEnv assembles a full runtime.Host against the wall-clock
+// environment and checks that real traffic flows: proactive rounds fire on
+// wall timers, messages traverse the memory bus, and churn scheduled through
+// the environment takes effect. This is the live half of the "one assembly,
+// two runtimes" contract.
+func TestHostOverLiveEnv(t *testing.T) {
+	const (
+		n     = 12
+		delta = 100.0 // run-seconds
+		scale = 1e-4  // Δ lasts 10 ms of wall time
+	)
+	graph, err := overlay.RandomKOut(n, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := live.NewEnv(live.EnvConfig{N: n, Seed: 21, TimeScale: scale, Latency: delta / 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	host, err := runtime.NewHost(env, runtime.Config{
+		Graph:    graph,
+		Strategy: func(int) core.Strategy { return core.MustGeneralized(1, 5) },
+		NewApp:   func(int) protocol.Application { return pushgossip.New() },
+		Delta:    delta,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject one fresh update near the start and take a node offline for the
+	// middle of the run.
+	env.At(delta/2, func() {
+		if node, ok := host.RandomOnlineNode(); ok {
+			host.App(node).(*pushgossip.State).Inject(1)
+		}
+	})
+	env.At(3*delta, func() { host.SetOffline(0) })
+	env.At(6*delta, func() { host.SetOnline(0) })
+
+	var samples int
+	host.SamplePeriodic(delta, delta, func(float64) { samples++ })
+
+	if err := host.Run(10 * delta); err != nil {
+		t.Fatal(err)
+	}
+
+	stats := host.TotalStats()
+	if stats.Rounds == 0 {
+		t.Fatal("no proactive rounds executed on the live environment")
+	}
+	if host.MessagesSent() == 0 || host.MessagesDelivered() == 0 {
+		t.Errorf("no traffic: sent %d, delivered %d", host.MessagesSent(), host.MessagesDelivered())
+	}
+	if samples < 8 {
+		t.Errorf("only %d metric samples in 10 rounds", samples)
+	}
+	if !host.Online(0) {
+		t.Error("node 0 still offline at the end of the run")
+	}
+	covered := 0
+	for i := 0; i < n; i++ {
+		if host.App(i).(*pushgossip.State).Seq() >= 1 {
+			covered++
+		}
+	}
+	if covered < n/2 {
+		t.Errorf("update reached %d of %d nodes", covered, n)
+	}
+	if env.DroppedDeliveries() != 0 {
+		t.Logf("run loop dropped %d deliveries (acceptable under load)", env.DroppedDeliveries())
+	}
+}

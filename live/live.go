@@ -1,15 +1,24 @@
-// Package live runs the token account protocol (Algorithm 4) in real time:
-// one goroutine per node, a ticker firing every Δ for the proactive loop, and
-// a transport delivering messages between nodes. It is the deployable
-// counterpart of the simulator in internal/simnet and turns the framework
-// into the "traffic shaping service" the paper proposes for decentralized
-// applications.
+// Package live runs the token account protocol (Algorithm 4) in real time.
+// It is the deployable counterpart of the simulator in package simnet and
+// turns the framework into the "traffic shaping service" the paper proposes
+// for decentralized applications.
+//
+// The package offers two real-time execution styles:
+//
+//   - Env is the wall-clock implementation of runtime.Env: one run loop
+//     serializing timers and transport deliveries for a whole set of nodes,
+//     so the runtime-neutral runtime.Host — and with it every experiment
+//     scenario and metric probe — executes unchanged in real time.
+//   - Service/Cluster run one goroutine per node with a ticker firing every
+//     Δ, the style a production deployment would use with one Service per
+//     process over the TCP transport.
 package live
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -18,6 +27,14 @@ import (
 	"github.com/szte-dcs/tokenaccount/protocol"
 	"github.com/szte-dcs/tokenaccount/transport"
 )
+
+// processNonce returns a value that is, with overwhelming probability,
+// unique to this process: start time mixed with the PID. It seasons the
+// default seed derivation so that distinct processes (and restarts of the
+// same one) never share random schedules.
+var processNonce = sync.OnceValue(func() uint64 {
+	return rng.Derive(uint64(time.Now().UnixNano()), uint64(os.Getpid()))
+})
 
 // Config assembles a live token account node.
 type Config struct {
@@ -40,8 +57,12 @@ type Config struct {
 	// InitialTokens is the starting balance (default 0).
 	InitialTokens int
 	// Seed drives the node's private randomness. Zero means derive a seed
-	// from the node ID, which is convenient but makes runs with the same ID
-	// identical; set an explicit seed for production use.
+	// from the node ID and a process-unique nonce, so two services with the
+	// same ID — whether in one process restarted twice or in two processes
+	// started at once — follow different random schedules. The cost of that
+	// safety is reproducibility: runs with Seed == 0 cannot be replayed. Set
+	// an explicit non-zero Seed to pin the random sequence (tests and the
+	// deterministic live environment do).
 	Seed uint64
 	// QueueSize bounds the incoming message queue between the transport
 	// callback and the service goroutine (default 1024). When the queue is
@@ -83,6 +104,7 @@ type Service struct {
 
 	mu      sync.Mutex
 	dropped int64
+	offline bool
 }
 
 type incomingMessage struct {
@@ -101,7 +123,11 @@ func New(cfg Config) (*Service, error) {
 	}
 	seed := cfg.Seed
 	if seed == 0 {
-		seed = rng.Derive(0x6c697665, uint64(cfg.ID)) // "live"
+		// Mix the node ID with a process-unique nonce: deriving from the ID
+		// alone would make every run of the same node — and every node that
+		// reuses an ID after a restart — replay the identical schedule of
+		// "random" decisions, synchronizing traffic across restarts.
+		seed = rng.Derive(rng.Derive(0x6c697665, processNonce()), uint64(cfg.ID)) // "live"
 	}
 	s := &Service{
 		cfg:      cfg,
@@ -174,9 +200,21 @@ func (s *Service) Run(ctx context.Context) error {
 		case <-s.stopped:
 			return nil
 		case <-ticker.C:
-			s.withNode(func(n *protocol.Node) { n.Tick() })
+			s.withNode(func(n *protocol.Node) {
+				if !s.offline {
+					n.Tick()
+				}
+			})
 		case m := <-s.incoming:
-			s.withNode(func(n *protocol.Node) { n.Receive(m.from, m.payload) })
+			s.withNode(func(n *protocol.Node) {
+				if s.offline {
+					// An offline node loses its incoming messages, exactly
+					// as if they had been dropped in transit.
+					s.dropped++
+					return
+				}
+				n.Receive(m.from, m.payload)
+			})
 		}
 	}
 }
@@ -187,6 +225,23 @@ func (s *Service) withNode(f func(n *protocol.Node)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	f(s.node)
+}
+
+// SetOnline switches the node's lifecycle state: while offline the proactive
+// loop pauses and incoming messages are dropped, modelling the churn of the
+// paper's availability traces without tearing the service down. It is safe
+// to call from any goroutine; the service keeps running either way.
+func (s *Service) SetOnline(online bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.offline = !online
+}
+
+// Online reports the node's current lifecycle state.
+func (s *Service) Online() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.offline
 }
 
 // Stop terminates the service loop. It is idempotent and safe to call from
@@ -212,8 +267,9 @@ func (s *Service) Stats() protocol.Stats {
 	return s.node.Stats()
 }
 
-// DroppedIncoming returns the number of incoming messages dropped because the
-// queue was full.
+// DroppedIncoming returns the number of incoming messages the service lost:
+// messages that arrived while the queue was full, plus messages discarded
+// because the node was offline (see SetOnline).
 func (s *Service) DroppedIncoming() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()

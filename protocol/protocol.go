@@ -3,9 +3,10 @@
 //
 // A Node combines a core.Strategy with an application (Application), a peer
 // sampling service (PeerSelector) and an outgoing message sink (Sender). The
-// surrounding runtime — the discrete-event simulator in internal/simnet or
-// the real-time service in internal/live — is responsible for calling Tick
-// once per proactive period Δ and Receive for every incoming message.
+// surrounding runtime — a runtime.Host over the discrete-event environment
+// in simnet or the wall-clock environment in live, or a live.Service — is
+// responsible for calling Tick once per proactive period Δ and Receive for
+// every incoming message.
 package protocol
 
 import (

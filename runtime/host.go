@@ -1,0 +1,383 @@
+package runtime
+
+import (
+	"fmt"
+
+	"github.com/szte-dcs/tokenaccount/core"
+	"github.com/szte-dcs/tokenaccount/internal/peersample"
+	"github.com/szte-dcs/tokenaccount/overlay"
+	"github.com/szte-dcs/tokenaccount/protocol"
+	"github.com/szte-dcs/tokenaccount/trace"
+)
+
+// Config describes the assembly of one run: the overlay, the per-node
+// strategy and application, the proactive period, and the availability
+// model. It is runtime-neutral — the same Config builds against the
+// discrete-event environment and the wall-clock one.
+type Config struct {
+	// Graph is the fixed communication overlay (required).
+	Graph *overlay.Graph
+	// Strategy returns the token account strategy of node i (required). Most
+	// experiments use the same strategy for every node.
+	Strategy func(i int) core.Strategy
+	// NewApp returns the application instance of node i (required).
+	NewApp func(i int) protocol.Application
+	// Delta is the proactive period Δ in seconds (the paper uses 172.80 s).
+	Delta float64
+	// Trace provides node availability; nil means every node is online for
+	// the whole run (the failure-free scenario).
+	Trace *trace.Trace
+	// InitialTokens is the starting account balance (0 in the paper).
+	InitialTokens int
+	// OnRejoin, if non-nil, is invoked whenever a node transitions from
+	// offline to online during the run (not for nodes already online at time
+	// zero). The push gossip experiment uses it to issue the initial pull
+	// request of §4.1.2.
+	OnRejoin func(h *Host, node int)
+	// AuditNodes lists node indices whose outgoing message times are recorded
+	// in a rate-limit envelope for verification (§3.4). Empty means no audit.
+	AuditNodes []int
+	// DropProbability is the probability that any individual message is lost
+	// before it reaches the transport, independently of churn. The paper's
+	// experiments assume a reliable transfer protocol, but the protocols
+	// themselves do not (§2.1); this knob exercises the fault-tolerance role
+	// of the proactive component.
+	DropProbability float64
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Graph == nil:
+		return fmt.Errorf("runtime: Config.Graph is nil")
+	case c.Strategy == nil:
+		return fmt.Errorf("runtime: Config.Strategy is nil")
+	case c.NewApp == nil:
+		return fmt.Errorf("runtime: Config.NewApp is nil")
+	case c.Delta <= 0:
+		return fmt.Errorf("runtime: Delta = %v, need > 0", c.Delta)
+	case c.InitialTokens < 0:
+		return fmt.Errorf("runtime: InitialTokens = %v, need ≥ 0", c.InitialTokens)
+	case c.DropProbability < 0 || c.DropProbability > 1:
+		return fmt.Errorf("runtime: DropProbability = %v outside [0,1]", c.DropProbability)
+	}
+	if c.Trace != nil && c.Trace.N() < c.Graph.N() {
+		return fmt.Errorf("runtime: trace covers %d nodes, overlay has %d", c.Trace.N(), c.Graph.N())
+	}
+	for _, i := range c.AuditNodes {
+		if i < 0 || i >= c.Graph.N() {
+			return fmt.Errorf("runtime: audit node %d outside [0,%d)", i, c.Graph.N())
+		}
+	}
+	return nil
+}
+
+// Host is an assembled run: one protocol node per overlay vertex, their
+// proactive loops and the churn transitions of the availability trace, all
+// scheduled on the Env the Host was built against. Like the protocol nodes
+// themselves, a Host is not safe for concurrent use: all interaction happens
+// on the environment's dispatch goroutine (the caller's goroutine for the
+// simulated environment, the run loop for the live one).
+type Host struct {
+	cfg   Config
+	env   Env
+	nodes []*protocol.Node
+	apps  []protocol.Application
+
+	netRNG protocol.Rand
+
+	sent      int64
+	delivered int64
+	dropped   int64
+
+	envelopes map[int]*core.Envelope
+}
+
+var _ protocol.Sender = (*Host)(nil)
+
+// NewHost assembles a run against the environment: it instantiates one
+// protocol node per overlay vertex with its own randomness stream, schedules
+// the unsynchronized proactive rounds (each node starts at a uniformly
+// random phase within [0, Δ)), applies the availability trace's initial
+// state and schedules its churn transitions.
+func NewHost(env Env, cfg Config) (*Host, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if env == nil {
+		return nil, fmt.Errorf("runtime: nil Env")
+	}
+	n := cfg.Graph.N()
+	if env.N() < n {
+		return nil, fmt.Errorf("runtime: environment has %d node slots, overlay has %d", env.N(), n)
+	}
+	h := &Host{
+		cfg:       cfg,
+		env:       env,
+		nodes:     make([]*protocol.Node, n),
+		apps:      make([]protocol.Application, n),
+		netRNG:    env.Rand(StreamNet),
+		envelopes: make(map[int]*core.Envelope),
+	}
+	liveness := func(id protocol.NodeID) bool { return env.Online(int(id)) }
+	for i := 0; i < n; i++ {
+		app := cfg.NewApp(i)
+		if app == nil {
+			return nil, fmt.Errorf("runtime: NewApp(%d) returned nil", i)
+		}
+		strategy := cfg.Strategy(i)
+		if strategy == nil {
+			return nil, fmt.Errorf("runtime: Strategy(%d) returned nil", i)
+		}
+		sampler, err := peersample.NewOverlay(cfg.Graph, i, liveness)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: node %d sampler: %w", i, err)
+		}
+		node, err := protocol.NewNode(protocol.Config{
+			ID:            protocol.NodeID(i),
+			Strategy:      strategy,
+			Application:   app,
+			Peers:         sampler,
+			Sender:        h,
+			RNG:           env.Rand(uint64(i)),
+			InitialTokens: cfg.InitialTokens,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("runtime: node %d: %w", i, err)
+		}
+		h.nodes[i] = node
+		h.apps[i] = app
+		if cfg.Trace != nil && !cfg.Trace.Online(i, 0) {
+			env.SetOffline(i)
+		}
+	}
+	for _, i := range cfg.AuditNodes {
+		capacity := h.nodes[i].Strategy().Capacity()
+		if capacity == core.UnboundedCapacity {
+			continue // nothing to audit for unbounded strategies
+		}
+		h.envelopes[i] = core.NewEnvelope(cfg.Delta, capacity)
+	}
+	env.SetDeliver(h.deliver)
+	h.scheduleRounds()
+	h.scheduleChurn()
+	return h, nil
+}
+
+// scheduleRounds starts every node's proactive loop at a random phase.
+func (h *Host) scheduleRounds() {
+	phaseRNG := h.env.Rand(StreamPhase)
+	for i := range h.nodes {
+		i := i
+		phase := phaseRNG.Float64() * h.cfg.Delta
+		h.env.Every(phase, h.cfg.Delta, func() bool {
+			if h.env.Online(i) {
+				h.nodes[i].Tick()
+			}
+			return true
+		})
+	}
+}
+
+// scheduleChurn schedules the online/offline transitions from the trace.
+func (h *Host) scheduleChurn() {
+	tr := h.cfg.Trace
+	if tr == nil {
+		return
+	}
+	for i := 0; i < len(h.nodes) && i < tr.N(); i++ {
+		i := i
+		for _, iv := range tr.Segments[i].Intervals {
+			if iv.Start > 0 {
+				h.env.At(iv.Start, func() { h.SetOnline(i) })
+			}
+			if iv.End < tr.Duration {
+				// An interval reaching the end of the trace never transitions
+				// back to offline: the run ends there anyway, and scheduling
+				// the transition would make end-of-run metrics see an empty
+				// network.
+				h.env.At(iv.End, func() { h.SetOffline(i) })
+			}
+		}
+	}
+}
+
+// Env exposes the underlying environment, e.g. to schedule update injections
+// or metric probes.
+func (h *Host) Env() Env { return h.env }
+
+// Run advances the run to the given time (see Env.Run).
+func (h *Host) Run(until float64) error { return h.env.Run(until) }
+
+// N returns the number of nodes.
+func (h *Host) N() int { return len(h.nodes) }
+
+// Node returns the protocol node with index i.
+func (h *Host) Node(i int) *protocol.Node { return h.nodes[i] }
+
+// App returns the application instance of node i.
+func (h *Host) App(i int) protocol.Application { return h.apps[i] }
+
+// Online reports whether node i is currently online.
+func (h *Host) Online(i int) bool { return h.env.Online(i) }
+
+// SetOnline brings node i online through the environment's lifecycle API and
+// fires the OnRejoin hook. It is a no-op for nodes already online, so the
+// hook only observes real offline→online transitions.
+func (h *Host) SetOnline(i int) {
+	if h.env.Online(i) {
+		return
+	}
+	h.env.SetOnline(i)
+	if h.cfg.OnRejoin != nil {
+		h.cfg.OnRejoin(h, i)
+	}
+}
+
+// SetOffline takes node i offline through the environment's lifecycle API:
+// its proactive loop pauses and messages addressed to it are dropped.
+func (h *Host) SetOffline(i int) { h.env.SetOffline(i) }
+
+// OnlineCount returns the number of currently online nodes.
+func (h *Host) OnlineCount() int {
+	count := 0
+	for i := range h.nodes {
+		if h.env.Online(i) {
+			count++
+		}
+	}
+	return count
+}
+
+// RandomOnlineNode returns a uniformly random online node, or false if every
+// node is offline. It uses rejection sampling with a fallback scan so that it
+// stays cheap when most of the network is online.
+func (h *Host) RandomOnlineNode() (int, bool) {
+	n := len(h.nodes)
+	for attempt := 0; attempt < 32; attempt++ {
+		i := h.netRNG.Intn(n)
+		if h.env.Online(i) {
+			return i, true
+		}
+	}
+	start := h.netRNG.Intn(n)
+	for d := 0; d < n; d++ {
+		i := (start + d) % n
+		if h.env.Online(i) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// RandomOnlineNeighbor returns a uniformly random online out-neighbour of the
+// given node, or false if none is online.
+func (h *Host) RandomOnlineNeighbor(i int) (int, bool) {
+	nbrs := h.cfg.Graph.OutNeighbors(i)
+	online := make([]int32, 0, len(nbrs))
+	for _, v := range nbrs {
+		if h.env.Online(int(v)) {
+			online = append(online, v)
+		}
+	}
+	if len(online) == 0 {
+		return 0, false
+	}
+	return int(online[h.netRNG.Intn(len(online))]), true
+}
+
+// Send implements protocol.Sender: after the host-level loss lottery the
+// payload is handed to the environment's transport, which delivers it back
+// through deliver (or drops it in transit).
+func (h *Host) Send(from, to protocol.NodeID, payload any) {
+	h.sent++
+	if env, ok := h.envelopes[int(from)]; ok {
+		env.Record(h.env.Now())
+	}
+	if h.cfg.DropProbability > 0 && h.netRNG.Float64() < h.cfg.DropProbability {
+		h.dropped++
+		return
+	}
+	h.env.Send(from, to, payload)
+}
+
+// deliver is the environment's delivery callback: messages to offline nodes
+// are dropped, everything else reaches the destination's Receive handler.
+func (h *Host) deliver(from, to protocol.NodeID, payload any) {
+	if !h.env.Online(int(to)) {
+		h.dropped++
+		return
+	}
+	h.delivered++
+	h.nodes[to].Receive(from, payload)
+}
+
+// MessagesSent returns the total number of messages handed to the host.
+func (h *Host) MessagesSent() int64 { return h.sent }
+
+// MessagesDelivered returns the number of messages delivered to online nodes.
+func (h *Host) MessagesDelivered() int64 { return h.delivered }
+
+// MessagesDropped returns the number of messages dropped by the loss lottery
+// or because the target was offline at delivery time.
+func (h *Host) MessagesDropped() int64 { return h.dropped }
+
+// AverageTokens returns the mean account balance. With onlineOnly set, only
+// online nodes are considered (the churn scenario's convention).
+func (h *Host) AverageTokens(onlineOnly bool) float64 {
+	sum, count := 0, 0
+	for i, node := range h.nodes {
+		if onlineOnly && !h.env.Online(i) {
+			continue
+		}
+		sum += node.Tokens()
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(sum) / float64(count)
+}
+
+// TotalStats aggregates the protocol counters over all nodes.
+func (h *Host) TotalStats() protocol.Stats {
+	var total protocol.Stats
+	for _, node := range h.nodes {
+		s := node.Stats()
+		total.ProactiveSent += s.ProactiveSent
+		total.ReactiveSent += s.ReactiveSent
+		total.Received += s.Received
+		total.UsefulReceived += s.UsefulReceived
+		total.TokensBanked += s.TokensBanked
+		total.Rounds += s.Rounds
+	}
+	return total
+}
+
+// SamplePeriodic schedules fn to be called first phase after the current run
+// time and then every interval, until the horizon passed to Run is reached.
+// fn receives the nominal sample time (now+phase, now+phase+interval, ...):
+// in the simulated environment that equals the virtual time of the callback
+// bit-for-bit (the engine performs the same additions in the same order),
+// and in the live one it keeps every repetition on the same sampling grid
+// regardless of wall-clock jitter, so repeated live runs can still be
+// averaged pointwise.
+func (h *Host) SamplePeriodic(phase, interval float64, fn func(t float64)) {
+	t := h.env.Now() + phase
+	h.env.Every(phase, interval, func() bool {
+		fn(t)
+		t += interval
+		return true
+	})
+}
+
+// AuditViolations verifies the §3.4 rate bound for every audited node and
+// returns the violations found (nil if all audited nodes complied).
+func (h *Host) AuditViolations() []*core.Violation {
+	var out []*core.Violation
+	for _, env := range h.envelopes {
+		if v := env.Verify(); v != nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+package runtime_test
+
+import (
+	"testing"
+
+	"github.com/szte-dcs/tokenaccount/apps/pushgossip"
+	"github.com/szte-dcs/tokenaccount/core"
+	"github.com/szte-dcs/tokenaccount/overlay"
+	"github.com/szte-dcs/tokenaccount/protocol"
+	"github.com/szte-dcs/tokenaccount/runtime"
+	"github.com/szte-dcs/tokenaccount/simnet"
+	"github.com/szte-dcs/tokenaccount/trace"
+)
+
+const delta = 172.8
+
+func testGraph(t *testing.T, n int) *overlay.Graph {
+	t.Helper()
+	g, err := overlay.RandomKOut(n, 5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func hostConfig(t *testing.T, n int) runtime.Config {
+	t.Helper()
+	return runtime.Config{
+		Graph:    testGraph(t, n),
+		Strategy: func(int) core.Strategy { return core.MustRandomized(2, 5) },
+		NewApp:   func(int) protocol.Application { return pushgossip.New() },
+		Delta:    delta,
+	}
+}
+
+func newSimEnv(t *testing.T, n int, seed uint64) *simnet.Env {
+	t.Helper()
+	env, err := simnet.NewEnv(simnet.EnvConfig{N: n, Seed: seed, TransferDelay: delta / 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// TestHostMatchesSimnetNetwork runs the identical assembly once through the
+// simnet.Network convenience wrapper and once through a hand-built
+// runtime.Host over the discrete-event environment, and checks that every
+// observable counter agrees — the wrapper must add nothing to the behaviour.
+func TestHostMatchesSimnetNetwork(t *testing.T) {
+	const n, seed = 60, 11
+	inject := func(every func(phase, interval float64, fn func() bool), random func() (int, bool), app func(int) protocol.Application) {
+		every(delta/10, delta/10, func() bool {
+			if node, ok := random(); ok {
+				app(node).(*pushgossip.State).Inject(1)
+			}
+			return true
+		})
+	}
+
+	net, err := simnet.New(simnet.Config{
+		Graph:         testGraph(t, n),
+		Strategy:      func(int) core.Strategy { return core.MustRandomized(2, 5) },
+		NewApp:        func(int) protocol.Application { return pushgossip.New() },
+		Delta:         delta,
+		TransferDelay: delta / 100,
+		Seed:          seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inject(net.Engine().Every, net.RandomOnlineNode, net.App)
+	net.Run(40 * delta)
+
+	env := newSimEnv(t, n, seed)
+	host, err := runtime.NewHost(env, hostConfig(t, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inject(env.Every, host.RandomOnlineNode, host.App)
+	if err := host.Run(40 * delta); err != nil {
+		t.Fatal(err)
+	}
+
+	if net.MessagesSent() != host.MessagesSent() ||
+		net.MessagesDelivered() != host.MessagesDelivered() ||
+		net.MessagesDropped() != host.MessagesDropped() {
+		t.Errorf("message counters differ: network (%d,%d,%d) vs host (%d,%d,%d)",
+			net.MessagesSent(), net.MessagesDelivered(), net.MessagesDropped(),
+			host.MessagesSent(), host.MessagesDelivered(), host.MessagesDropped())
+	}
+	if net.TotalStats() != host.TotalStats() {
+		t.Errorf("stats differ: %+v vs %+v", net.TotalStats(), host.TotalStats())
+	}
+	if net.AverageTokens(false) != host.AverageTokens(false) {
+		t.Errorf("average tokens differ: %v vs %v", net.AverageTokens(false), host.AverageTokens(false))
+	}
+}
+
+func TestHostConfigValidation(t *testing.T) {
+	valid := hostConfig(t, 20)
+	if _, err := runtime.NewHost(newSimEnv(t, 20, 1), valid); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	broken := []func(c *runtime.Config){
+		func(c *runtime.Config) { c.Graph = nil },
+		func(c *runtime.Config) { c.Strategy = nil },
+		func(c *runtime.Config) { c.NewApp = nil },
+		func(c *runtime.Config) { c.Delta = 0 },
+		func(c *runtime.Config) { c.InitialTokens = -1 },
+		func(c *runtime.Config) { c.DropProbability = 1.5 },
+		func(c *runtime.Config) { c.AuditNodes = []int{20} },
+		func(c *runtime.Config) { c.NewApp = func(int) protocol.Application { return nil } },
+		func(c *runtime.Config) { c.Strategy = func(int) core.Strategy { return nil } },
+		func(c *runtime.Config) { c.Trace = &trace.Trace{Duration: 1, Segments: make([]trace.Segment, 3)} },
+	}
+	for i, mutate := range broken {
+		cfg := hostConfig(t, 20)
+		mutate(&cfg)
+		if _, err := runtime.NewHost(newSimEnv(t, 20, 1), cfg); err == nil {
+			t.Errorf("broken config %d accepted", i)
+		}
+	}
+	if _, err := runtime.NewHost(nil, valid); err == nil {
+		t.Error("nil environment accepted")
+	}
+	if _, err := runtime.NewHost(newSimEnv(t, 5, 1), valid); err == nil {
+		t.Error("environment smaller than the overlay accepted")
+	}
+}
+
+// TestHostLifecycleRejoinHook drives the lifecycle API by hand and checks
+// that OnRejoin fires exactly on offline→online transitions.
+func TestHostLifecycleRejoinHook(t *testing.T) {
+	var rejoined []int
+	cfg := hostConfig(t, 20)
+	cfg.OnRejoin = func(_ *runtime.Host, node int) { rejoined = append(rejoined, node) }
+	host, err := runtime.NewHost(newSimEnv(t, 20, 3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host.SetOnline(4) // already online: no transition, no hook
+	if len(rejoined) != 0 {
+		t.Fatalf("hook fired for an already-online node: %v", rejoined)
+	}
+	host.SetOffline(4)
+	if host.Online(4) || host.OnlineCount() != 19 {
+		t.Fatal("SetOffline did not take node 4 offline")
+	}
+	host.SetOnline(4)
+	if !host.Online(4) {
+		t.Fatal("SetOnline did not bring node 4 back")
+	}
+	if len(rejoined) != 1 || rejoined[0] != 4 {
+		t.Errorf("rejoined = %v, want [4]", rejoined)
+	}
+}
+
+// TestHostChurnTraceFiresRejoin replays a two-interval availability trace
+// and checks the scheduled transitions and the rejoin hook.
+func TestHostChurnTraceFiresRejoin(t *testing.T) {
+	const n = 20
+	duration := 10 * delta
+	tr := trace.AlwaysOnline(n, duration)
+	// Node 7 crashes during [3Δ, 6Δ).
+	tr.Segments[7] = trace.Segment{Intervals: []trace.Interval{
+		{Start: 0, End: 3 * delta},
+		{Start: 6 * delta, End: duration},
+	}}
+	var rejoined []int
+	cfg := hostConfig(t, n)
+	cfg.Trace = tr
+	cfg.OnRejoin = func(_ *runtime.Host, node int) { rejoined = append(rejoined, node) }
+	host, err := runtime.NewHost(newSimEnv(t, n, 5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := host.Run(4 * delta); err != nil {
+		t.Fatal(err)
+	}
+	if host.Online(7) {
+		t.Error("node 7 online during its outage")
+	}
+	if err := host.Run(10 * delta); err != nil {
+		t.Fatal(err)
+	}
+	if !host.Online(7) {
+		t.Error("node 7 still offline after its outage")
+	}
+	if len(rejoined) != 1 || rejoined[0] != 7 {
+		t.Errorf("rejoined = %v, want [7]", rejoined)
+	}
+}
+
+func TestHostDropProbabilityOne(t *testing.T) {
+	cfg := hostConfig(t, 20)
+	cfg.DropProbability = 1
+	host, err := runtime.NewHost(newSimEnv(t, 20, 9), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host.App(0).(*pushgossip.State).Inject(1)
+	if err := host.Run(30 * delta); err != nil {
+		t.Fatal(err)
+	}
+	if host.MessagesDelivered() != 0 {
+		t.Errorf("%d messages delivered despite drop probability 1", host.MessagesDelivered())
+	}
+	if host.MessagesSent() == 0 || host.MessagesDropped() != host.MessagesSent() {
+		t.Errorf("sent %d, dropped %d: every sent message should be dropped",
+			host.MessagesSent(), host.MessagesDropped())
+	}
+}
+
+// TestSamplePeriodicMidRunMatchesVirtualTime registers the probe after the
+// run has already advanced and checks that the reported nominal times still
+// equal the virtual time of each firing bit-for-bit.
+func TestSamplePeriodicMidRunMatchesVirtualTime(t *testing.T) {
+	env := newSimEnv(t, 20, 2)
+	host, err := runtime.NewHost(env, hostConfig(t, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := host.Run(3 * delta); err != nil {
+		t.Fatal(err)
+	}
+	var nominal, virtual []float64
+	host.SamplePeriodic(delta, delta, func(ts float64) {
+		nominal = append(nominal, ts)
+		virtual = append(virtual, env.Now())
+	})
+	if err := host.Run(6 * delta); err != nil {
+		t.Fatal(err)
+	}
+	if len(nominal) != 3 {
+		t.Fatalf("got %d samples, want 3", len(nominal))
+	}
+	for i := range nominal {
+		if nominal[i] != virtual[i] {
+			t.Errorf("sample %d reported t=%v but fired at virtual time %v", i, nominal[i], virtual[i])
+		}
+	}
+	if nominal[0] != 3*delta+delta {
+		t.Errorf("first mid-run sample at %v, want %v", nominal[0], 3*delta+delta)
+	}
+}
+
+// TestSamplePeriodicNominalGrid checks that sample callbacks receive the
+// nominal grid times phase + k·interval, the property that lets repeated
+// live runs be averaged pointwise.
+func TestSamplePeriodicNominalGrid(t *testing.T) {
+	host, err := runtime.NewHost(newSimEnv(t, 20, 2), hostConfig(t, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var times []float64
+	host.SamplePeriodic(delta, delta, func(ts float64) { times = append(times, ts) })
+	if err := host.Run(5 * delta); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 5 {
+		t.Fatalf("got %d samples, want 5", len(times))
+	}
+	want := delta
+	for i, ts := range times {
+		if ts != want {
+			t.Errorf("sample %d at %v, want %v", i, ts, want)
+		}
+		want += delta
+	}
+}

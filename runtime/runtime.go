@@ -1,0 +1,110 @@
+// Package runtime defines the runtime-neutral host environment API of the
+// framework: the Env interface abstracts everything a set of token account
+// protocol nodes needs from its surroundings — a clock (virtual or wall),
+// timer/scheduling primitives, per-node randomness, a message transport and
+// node lifecycle — and the Host assembles the nodes of one run against any
+// Env.
+//
+// Two environments implement Env:
+//
+//   - simnet.Env drives the discrete-event engine (package sim) in virtual
+//     time, reproducing the paper's PeerSim-style evaluation setup, and
+//   - live.Env drives wall-clock timers and a real transport (package
+//     transport), turning the very same assembly into the deployable
+//     "traffic shaping service" the paper proposes.
+//
+// Because scenario drivers, availability traces and metric probes only talk
+// to the Host and its Env, they run identically in both worlds: an
+// experiment validated in simulation executes unchanged — just scaled to
+// real time — on the live runtime (see the experiment package's
+// RuntimeDriver dimension).
+package runtime
+
+import "github.com/szte-dcs/tokenaccount/protocol"
+
+// DeliverFunc consumes a message that has traversed the environment's
+// transport and is ready for delivery to the destination node.
+type DeliverFunc func(from, to protocol.NodeID, payload any)
+
+// Env is the substrate one run of the protocol executes on. Times are
+// float64 seconds since the start of the run: virtual seconds in the
+// discrete-event environment, wall-clock seconds (optionally compressed by a
+// time scale) in the live one.
+//
+// Environments serialize all callbacks — scheduled timers, repeating events
+// and message deliveries — on a single dispatch goroutine, so Host state and
+// protocol nodes need no locking. Env methods themselves must only be called
+// during assembly (before Run) or from within dispatched callbacks, except
+// where an implementation documents otherwise.
+type Env interface {
+	// Now returns the current run time in seconds.
+	Now() float64
+
+	// At schedules fn at the given absolute run time. Times in the past are
+	// clamped to the present.
+	At(t float64, fn func())
+
+	// Schedule runs fn after the given delay in seconds. Non-positive delays
+	// mean "as soon as possible, after everything already due".
+	Schedule(delay float64, fn func())
+
+	// Every schedules fn at phase, phase+interval, phase+2·interval, ...
+	// until the run ends or fn returns false.
+	Every(phase, interval float64, fn func() bool)
+
+	// Rand returns a deterministic random stream for the given stream index.
+	// Streams derived from distinct indices are statistically independent;
+	// the Host uses one stream per node plus dedicated streams for network
+	// and phase randomness.
+	Rand(stream uint64) protocol.Rand
+
+	// Send hands a payload to the environment's transport for delivery from
+	// one node to another. The transport applies the environment's latency
+	// and loss model and eventually invokes the DeliverFunc installed with
+	// SetDeliver (or drops the message).
+	Send(from, to protocol.NodeID, payload any)
+
+	// SetDeliver installs the delivery callback. The Host installs itself
+	// here during assembly; environments must not deliver before it is set.
+	SetDeliver(fn DeliverFunc)
+
+	// N returns the number of node slots managed by the environment.
+	N() int
+
+	// Online reports whether the given node is currently online.
+	Online(node int) bool
+
+	// SetOnline brings the given node online.
+	SetOnline(node int)
+
+	// SetOffline takes the given node offline. The flag is advisory: the
+	// Host consults it before ticking a node and before delivering to it,
+	// so an offline node neither runs its proactive loop nor receives
+	// messages — transports may keep accepting traffic for the node, which
+	// is then discarded at delivery time.
+	SetOffline(node int)
+
+	// Run drives the environment until the given run time: the simulated
+	// environment executes events until virtual time reaches the horizon,
+	// the live one blocks until the corresponding wall-clock deadline.
+	// Events scheduled past the horizon remain pending.
+	Run(until float64) error
+
+	// Close releases environment resources (transport endpoints, timer
+	// goroutines). It must not be called while Run is executing.
+	Close() error
+}
+
+// Randomness stream indices used by the Host. Environments derive their
+// streams with rng.Derive(seed, stream), so these constants pin down the
+// exact random sequences of a run: node i draws from stream uint64(i), the
+// network-level decisions (drop lottery, random node selection) from
+// StreamNet, and the proactive phase offsets from StreamPhase. They are
+// exported so that alternative environments and tests can reproduce the
+// streams bit-for-bit.
+const (
+	// StreamNet feeds network-level randomness ("net" in ASCII).
+	StreamNet uint64 = 0x6e6574
+	// StreamPhase feeds the per-node proactive phase offsets ("phase").
+	StreamPhase uint64 = 0x7068617365
+)

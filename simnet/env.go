@@ -1,0 +1,116 @@
+package simnet
+
+import (
+	"fmt"
+
+	"github.com/szte-dcs/tokenaccount/internal/rng"
+	"github.com/szte-dcs/tokenaccount/protocol"
+	"github.com/szte-dcs/tokenaccount/runtime"
+	"github.com/szte-dcs/tokenaccount/sim"
+)
+
+// EnvConfig parameterizes the discrete-event environment.
+type EnvConfig struct {
+	// N is the number of node slots (required, ≥ 1). All nodes start online.
+	N int
+	// Seed drives every randomness stream of the run (see Env.Rand).
+	Seed uint64
+	// TransferDelay is the virtual time needed to deliver one message
+	// (1.728 s in the paper, one hundredth of the period).
+	TransferDelay float64
+	// Queue selects the event queue implementation backing the engine; the
+	// zero value is the default allocation-free slab heap. Every kind yields
+	// identical event orderings (see sim.QueueKind).
+	Queue sim.QueueKind
+}
+
+// Env is the discrete-event implementation of runtime.Env: virtual time and
+// timers come from a sim.Engine, the transport is a delayed in-engine
+// delivery, randomness streams are SplitMix64 generators derived from the
+// seed, and lifecycle state is a plain availability flag consulted at tick
+// and delivery time. It corresponds to the PeerSim experiment harness used
+// in the paper's evaluation (§4.1).
+//
+// Env is not safe for concurrent use; everything runs on the goroutine
+// driving the engine.
+type Env struct {
+	engine        *sim.Engine
+	seed          uint64
+	transferDelay float64
+	online        []bool
+	deliver       runtime.DeliverFunc
+}
+
+var _ runtime.Env = (*Env)(nil)
+
+// NewEnv builds a discrete-event environment with every node online.
+func NewEnv(cfg EnvConfig) (*Env, error) {
+	switch {
+	case cfg.N < 1:
+		return nil, fmt.Errorf("simnet: EnvConfig.N = %d, need ≥ 1", cfg.N)
+	case cfg.TransferDelay < 0:
+		return nil, fmt.Errorf("simnet: TransferDelay = %v, need ≥ 0", cfg.TransferDelay)
+	}
+	online := make([]bool, cfg.N)
+	for i := range online {
+		online[i] = true
+	}
+	return &Env{
+		engine:        sim.NewEngineWithQueue(cfg.Queue),
+		seed:          cfg.Seed,
+		transferDelay: cfg.TransferDelay,
+		online:        online,
+	}, nil
+}
+
+// Engine exposes the underlying discrete-event engine, e.g. for tests that
+// need to single-step virtual time.
+func (e *Env) Engine() *sim.Engine { return e.engine }
+
+// Now implements runtime.Env with the engine's virtual time.
+func (e *Env) Now() float64 { return e.engine.Now() }
+
+// At implements runtime.Env.
+func (e *Env) At(t float64, fn func()) { e.engine.At(t, fn) }
+
+// Schedule implements runtime.Env.
+func (e *Env) Schedule(delay float64, fn func()) { e.engine.Schedule(delay, fn) }
+
+// Every implements runtime.Env.
+func (e *Env) Every(phase, interval float64, fn func() bool) { e.engine.Every(phase, interval, fn) }
+
+// Rand implements runtime.Env: stream s is a SplitMix64 generator seeded
+// with rng.Derive(seed, s).
+func (e *Env) Rand(stream uint64) protocol.Rand { return rng.New(rng.Derive(e.seed, stream)) }
+
+// Send implements runtime.Env: the payload is delivered after the transfer
+// delay of virtual time.
+func (e *Env) Send(from, to protocol.NodeID, payload any) {
+	e.engine.Schedule(e.transferDelay, func() { e.deliver(from, to, payload) })
+}
+
+// SetDeliver implements runtime.Env.
+func (e *Env) SetDeliver(fn runtime.DeliverFunc) { e.deliver = fn }
+
+// N implements runtime.Env.
+func (e *Env) N() int { return len(e.online) }
+
+// Online implements runtime.Env.
+func (e *Env) Online(node int) bool { return e.online[node] }
+
+// SetOnline implements runtime.Env.
+func (e *Env) SetOnline(node int) { e.online[node] = true }
+
+// SetOffline implements runtime.Env.
+func (e *Env) SetOffline(node int) { e.online[node] = false }
+
+// Run implements runtime.Env: events execute in (time, seq) order until
+// virtual time reaches the horizon; events past it stay pending.
+func (e *Env) Run(until float64) error {
+	e.engine.RunUntil(until)
+	return nil
+}
+
+// Close implements runtime.Env. The simulated environment holds no external
+// resources, so Close is a no-op.
+func (e *Env) Close() error { return nil }

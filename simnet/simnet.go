@@ -3,16 +3,22 @@
 // engine, with per-node unsynchronized proactive rounds, message transfer
 // delays, and optional churn from an availability trace. It corresponds to
 // the PeerSim experiment assembly used in the paper's evaluation (§4.1).
+//
+// Since the runtime redesign, simnet is a thin skin over the runtime-neutral
+// host API: Env implements runtime.Env on top of the discrete-event engine,
+// and Network wraps a runtime.Host built against it. New code that wants to
+// run in both the simulated and the live world should use runtime.Host
+// directly (as the experiment package does); Network remains the convenient
+// all-in-one assembly for simulation-only callers.
 package simnet
 
 import (
 	"fmt"
 
 	"github.com/szte-dcs/tokenaccount/core"
-	"github.com/szte-dcs/tokenaccount/internal/peersample"
-	"github.com/szte-dcs/tokenaccount/internal/rng"
 	"github.com/szte-dcs/tokenaccount/overlay"
 	"github.com/szte-dcs/tokenaccount/protocol"
+	"github.com/szte-dcs/tokenaccount/runtime"
 	"github.com/szte-dcs/tokenaccount/sim"
 	"github.com/szte-dcs/tokenaccount/trace"
 )
@@ -55,30 +61,16 @@ type Config struct {
 	DropProbability float64
 }
 
+// validate checks only the fields the environment consumes before the Host
+// exists; everything the Host consumes (Strategy, NewApp, Delta, trace
+// coverage, audit indices, ...) is validated by runtime.NewHost, so the
+// rules live in one place.
 func (c Config) validate() error {
 	switch {
 	case c.Graph == nil:
 		return fmt.Errorf("simnet: Config.Graph is nil")
-	case c.Strategy == nil:
-		return fmt.Errorf("simnet: Config.Strategy is nil")
-	case c.NewApp == nil:
-		return fmt.Errorf("simnet: Config.NewApp is nil")
-	case c.Delta <= 0:
-		return fmt.Errorf("simnet: Delta = %v, need > 0", c.Delta)
 	case c.TransferDelay < 0:
 		return fmt.Errorf("simnet: TransferDelay = %v, need ≥ 0", c.TransferDelay)
-	case c.InitialTokens < 0:
-		return fmt.Errorf("simnet: InitialTokens = %v, need ≥ 0", c.InitialTokens)
-	case c.DropProbability < 0 || c.DropProbability > 1:
-		return fmt.Errorf("simnet: DropProbability = %v outside [0,1]", c.DropProbability)
-	}
-	if c.Trace != nil && c.Trace.N() < c.Graph.N() {
-		return fmt.Errorf("simnet: trace covers %d nodes, overlay has %d", c.Trace.N(), c.Graph.N())
-	}
-	for _, i := range c.AuditNodes {
-		if i < 0 || i >= c.Graph.N() {
-			return fmt.Errorf("simnet: audit node %d outside [0,%d)", i, c.Graph.N())
-		}
 	}
 	return nil
 }
@@ -86,277 +78,118 @@ func (c Config) validate() error {
 // Network is a running simulated network. It is not safe for concurrent use;
 // all interaction happens on the goroutine driving the engine.
 type Network struct {
-	cfg    Config
-	engine *sim.Engine
-	nodes  []*protocol.Node
-	apps   []protocol.Application
-	online []bool
-
-	netRNG *rng.Source
-
-	sent      int64
-	delivered int64
-	dropped   int64
-
-	envelopes map[int]*core.Envelope
+	env  *Env
+	host *runtime.Host
 }
 
 var _ protocol.Sender = (*Network)(nil)
 
-// New builds the network: it instantiates one protocol node per overlay
-// vertex with its own RNG stream, schedules the unsynchronized proactive
-// rounds (each node starts at a uniformly random phase within [0, Δ)), and
+// New builds the network: a discrete-event environment plus a runtime.Host
+// assembled against it. It instantiates one protocol node per overlay vertex
+// with its own RNG stream, schedules the unsynchronized proactive rounds
+// (each node starts at a uniformly random phase within [0, Δ)), and
 // schedules the churn transitions of the availability trace.
 func New(cfg Config) (*Network, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	n := cfg.Graph.N()
-	net := &Network{
-		cfg:       cfg,
-		engine:    sim.NewEngine(),
-		nodes:     make([]*protocol.Node, n),
-		apps:      make([]protocol.Application, n),
-		online:    make([]bool, n),
-		netRNG:    rng.New(rng.Derive(cfg.Seed, 0x6e6574)), // "net"
-		envelopes: make(map[int]*core.Envelope),
+	env, err := NewEnv(EnvConfig{N: cfg.Graph.N(), Seed: cfg.Seed, TransferDelay: cfg.TransferDelay})
+	if err != nil {
+		return nil, err
 	}
-	liveness := func(id protocol.NodeID) bool { return net.online[id] }
-	for i := 0; i < n; i++ {
-		app := cfg.NewApp(i)
-		if app == nil {
-			return nil, fmt.Errorf("simnet: NewApp(%d) returned nil", i)
-		}
-		strategy := cfg.Strategy(i)
-		if strategy == nil {
-			return nil, fmt.Errorf("simnet: Strategy(%d) returned nil", i)
-		}
-		sampler, err := peersample.NewOverlay(cfg.Graph, i, liveness)
-		if err != nil {
-			return nil, fmt.Errorf("simnet: node %d sampler: %w", i, err)
-		}
-		node, err := protocol.NewNode(protocol.Config{
-			ID:            protocol.NodeID(i),
-			Strategy:      strategy,
-			Application:   app,
-			Peers:         sampler,
-			Sender:        net,
-			RNG:           rng.New(rng.Derive(cfg.Seed, uint64(i))),
-			InitialTokens: cfg.InitialTokens,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("simnet: node %d: %w", i, err)
-		}
-		net.nodes[i] = node
-		net.apps[i] = app
-		net.online[i] = cfg.Trace == nil || cfg.Trace.Online(i, 0)
+	net := &Network{env: env}
+	hostCfg := runtime.Config{
+		Graph:           cfg.Graph,
+		Strategy:        cfg.Strategy,
+		NewApp:          cfg.NewApp,
+		Delta:           cfg.Delta,
+		Trace:           cfg.Trace,
+		InitialTokens:   cfg.InitialTokens,
+		AuditNodes:      cfg.AuditNodes,
+		DropProbability: cfg.DropProbability,
 	}
-	for _, i := range cfg.AuditNodes {
-		capacity := net.nodes[i].Strategy().Capacity()
-		if capacity == core.UnboundedCapacity {
-			continue // nothing to audit for unbounded strategies
-		}
-		net.envelopes[i] = core.NewEnvelope(cfg.Delta, capacity)
+	if cfg.OnRejoin != nil {
+		hostCfg.OnRejoin = func(_ *runtime.Host, node int) { cfg.OnRejoin(net, node) }
 	}
-	net.scheduleRounds()
-	net.scheduleChurn()
+	host, err := runtime.NewHost(env, hostCfg)
+	if err != nil {
+		return nil, fmt.Errorf("simnet: %w", err)
+	}
+	net.host = host
 	return net, nil
 }
 
-// scheduleRounds starts every node's proactive loop at a random phase.
-func (net *Network) scheduleRounds() {
-	phaseRNG := rng.New(rng.Derive(net.cfg.Seed, 0x7068617365)) // "phase"
-	for i := range net.nodes {
-		i := i
-		phase := phaseRNG.Float64() * net.cfg.Delta
-		net.engine.Every(phase, net.cfg.Delta, func() bool {
-			if net.online[i] {
-				net.nodes[i].Tick()
-			}
-			return true
-		})
-	}
-}
-
-// scheduleChurn schedules the online/offline transitions from the trace.
-func (net *Network) scheduleChurn() {
-	tr := net.cfg.Trace
-	if tr == nil {
-		return
-	}
-	for i := 0; i < len(net.nodes) && i < tr.N(); i++ {
-		i := i
-		for _, iv := range tr.Segments[i].Intervals {
-			if iv.Start > 0 {
-				net.engine.At(iv.Start, func() {
-					net.online[i] = true
-					if net.cfg.OnRejoin != nil {
-						net.cfg.OnRejoin(net, i)
-					}
-				})
-			}
-			if iv.End < tr.Duration {
-				// An interval reaching the end of the trace never transitions
-				// back to offline: the run ends there anyway, and scheduling
-				// the transition would make end-of-run metrics see an empty
-				// network.
-				net.engine.At(iv.End, func() {
-					net.online[i] = false
-				})
-			}
-		}
-	}
-}
+// Host exposes the underlying runtime-neutral host.
+func (net *Network) Host() *runtime.Host { return net.host }
 
 // Engine exposes the underlying discrete-event engine, e.g. to schedule
 // update injections or metric probes.
-func (net *Network) Engine() *sim.Engine { return net.engine }
+func (net *Network) Engine() *sim.Engine { return net.env.Engine() }
 
 // Run advances the simulation to the given virtual time.
-func (net *Network) Run(until float64) { net.engine.RunUntil(until) }
+func (net *Network) Run(until float64) { net.env.engine.RunUntil(until) }
 
 // N returns the number of nodes.
-func (net *Network) N() int { return len(net.nodes) }
+func (net *Network) N() int { return net.host.N() }
 
 // Node returns the protocol node with index i.
-func (net *Network) Node(i int) *protocol.Node { return net.nodes[i] }
+func (net *Network) Node(i int) *protocol.Node { return net.host.Node(i) }
 
 // App returns the application instance of node i.
-func (net *Network) App(i int) protocol.Application { return net.apps[i] }
+func (net *Network) App(i int) protocol.Application { return net.host.App(i) }
 
 // Online reports whether node i is currently online.
-func (net *Network) Online(i int) bool { return net.online[i] }
+func (net *Network) Online(i int) bool { return net.host.Online(i) }
+
+// SetOnline brings node i online mid-run, firing the OnRejoin hook for a
+// real offline→online transition (see runtime.Host.SetOnline).
+func (net *Network) SetOnline(i int) { net.host.SetOnline(i) }
+
+// SetOffline takes node i offline mid-run: its proactive loop pauses and
+// messages addressed to it are dropped.
+func (net *Network) SetOffline(i int) { net.host.SetOffline(i) }
 
 // OnlineCount returns the number of currently online nodes.
-func (net *Network) OnlineCount() int {
-	count := 0
-	for _, o := range net.online {
-		if o {
-			count++
-		}
-	}
-	return count
-}
+func (net *Network) OnlineCount() int { return net.host.OnlineCount() }
 
 // RandomOnlineNode returns a uniformly random online node, or false if every
-// node is offline. It uses rejection sampling with a fallback scan so that it
-// stays cheap when most of the network is online.
-func (net *Network) RandomOnlineNode() (int, bool) {
-	n := len(net.nodes)
-	for attempt := 0; attempt < 32; attempt++ {
-		i := net.netRNG.Intn(n)
-		if net.online[i] {
-			return i, true
-		}
-	}
-	start := net.netRNG.Intn(n)
-	for d := 0; d < n; d++ {
-		i := (start + d) % n
-		if net.online[i] {
-			return i, true
-		}
-	}
-	return 0, false
-}
+// node is offline.
+func (net *Network) RandomOnlineNode() (int, bool) { return net.host.RandomOnlineNode() }
 
 // RandomOnlineNeighbor returns a uniformly random online out-neighbour of the
 // given node, or false if none is online.
-func (net *Network) RandomOnlineNeighbor(i int) (int, bool) {
-	nbrs := net.cfg.Graph.OutNeighbors(i)
-	online := make([]int32, 0, len(nbrs))
-	for _, v := range nbrs {
-		if net.online[v] {
-			online = append(online, v)
-		}
-	}
-	if len(online) == 0 {
-		return 0, false
-	}
-	return int(online[net.netRNG.Intn(len(online))]), true
-}
+func (net *Network) RandomOnlineNeighbor(i int) (int, bool) { return net.host.RandomOnlineNeighbor(i) }
 
 // Send implements protocol.Sender: the payload is delivered to the target
 // after the configured transfer delay, or dropped if the target is offline at
 // delivery time.
-func (net *Network) Send(from, to protocol.NodeID, payload any) {
-	net.sent++
-	if env, ok := net.envelopes[int(from)]; ok {
-		env.Record(net.engine.Now())
-	}
-	if net.cfg.DropProbability > 0 && net.netRNG.Float64() < net.cfg.DropProbability {
-		net.dropped++
-		return
-	}
-	net.engine.Schedule(net.cfg.TransferDelay, func() {
-		if !net.online[to] {
-			net.dropped++
-			return
-		}
-		net.delivered++
-		net.nodes[to].Receive(from, payload)
-	})
-}
+func (net *Network) Send(from, to protocol.NodeID, payload any) { net.host.Send(from, to, payload) }
 
 // MessagesSent returns the total number of messages handed to the network.
-func (net *Network) MessagesSent() int64 { return net.sent }
+func (net *Network) MessagesSent() int64 { return net.host.MessagesSent() }
 
 // MessagesDelivered returns the number of messages delivered to online nodes.
-func (net *Network) MessagesDelivered() int64 { return net.delivered }
+func (net *Network) MessagesDelivered() int64 { return net.host.MessagesDelivered() }
 
 // MessagesDropped returns the number of messages dropped because the target
 // was offline at delivery time.
-func (net *Network) MessagesDropped() int64 { return net.dropped }
+func (net *Network) MessagesDropped() int64 { return net.host.MessagesDropped() }
 
 // AverageTokens returns the mean account balance. With onlineOnly set, only
 // online nodes are considered (the churn scenario's convention).
-func (net *Network) AverageTokens(onlineOnly bool) float64 {
-	sum, count := 0, 0
-	for i, node := range net.nodes {
-		if onlineOnly && !net.online[i] {
-			continue
-		}
-		sum += node.Tokens()
-		count++
-	}
-	if count == 0 {
-		return 0
-	}
-	return float64(sum) / float64(count)
-}
+func (net *Network) AverageTokens(onlineOnly bool) float64 { return net.host.AverageTokens(onlineOnly) }
 
 // TotalStats aggregates the protocol counters over all nodes.
-func (net *Network) TotalStats() protocol.Stats {
-	var total protocol.Stats
-	for _, node := range net.nodes {
-		s := node.Stats()
-		total.ProactiveSent += s.ProactiveSent
-		total.ReactiveSent += s.ReactiveSent
-		total.Received += s.Received
-		total.UsefulReceived += s.UsefulReceived
-		total.TokensBanked += s.TokensBanked
-		total.Rounds += s.Rounds
-	}
-	return total
-}
+func (net *Network) TotalStats() protocol.Stats { return net.host.TotalStats() }
 
-// SamplePeriodic schedules fn to be called with the current virtual time,
-// first at the given phase and then every interval, until the horizon passed
-// to Run is reached.
+// SamplePeriodic schedules fn to be called first phase after the current
+// virtual time and then every interval, until the horizon passed to Run is
+// reached. fn receives the virtual time of the sample (see
+// runtime.Host.SamplePeriodic).
 func (net *Network) SamplePeriodic(phase, interval float64, fn func(t float64)) {
-	net.engine.Every(phase, interval, func() bool {
-		fn(net.engine.Now())
-		return true
-	})
+	net.host.SamplePeriodic(phase, interval, fn)
 }
 
 // AuditViolations verifies the §3.4 rate bound for every audited node and
 // returns the violations found (nil if all audited nodes complied).
-func (net *Network) AuditViolations() []*core.Violation {
-	var out []*core.Violation
-	for _, env := range net.envelopes {
-		if v := env.Verify(); v != nil {
-			out = append(out, v)
-		}
-	}
-	return out
-}
+func (net *Network) AuditViolations() []*core.Violation { return net.host.AuditViolations() }

@@ -277,8 +277,8 @@ func TestRandomOnlineHelpers(t *testing.T) {
 		t.Error("RandomOnlineNeighbor failed with everyone online")
 	}
 	// Force everyone offline and check the helpers report failure.
-	for i := range net.online {
-		net.online[i] = false
+	for i := 0; i < net.N(); i++ {
+		net.SetOffline(i)
 	}
 	if _, ok := net.RandomOnlineNode(); ok {
 		t.Error("RandomOnlineNode succeeded with everyone offline")

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/szte-dcs/tokenaccount/internal/rng"
 	"github.com/szte-dcs/tokenaccount/protocol"
 )
 
@@ -19,19 +20,80 @@ type MemoryBus struct {
 	endpoints map[protocol.NodeID]*MemoryEndpoint
 	closed    bool
 
+	// Fault injection (see BusOption): an independent per-message loss
+	// lottery and a set of directed blocked links. Both are consulted in
+	// route, so faults strike messages in transit.
+	faultRNG *rng.Source
+	dropProb float64
+	blocked  map[link]struct{}
+
 	// delivered counts successfully enqueued messages; dropped counts
-	// messages addressed to missing or closed endpoints.
+	// messages addressed to missing or closed endpoints and messages
+	// discarded by fault injection.
 	delivered int64
 	dropped   int64
 }
 
+// link is a directed sender→receiver pair.
+type link struct {
+	from, to protocol.NodeID
+}
+
+// BusOption configures fault injection on a MemoryBus. The zero
+// configuration (no options) is a fully reliable bus, as before.
+type BusOption func(*MemoryBus)
+
+// WithDropProbability makes the bus lose each message independently with
+// probability p. The lottery draws from a deterministic generator seeded
+// with seed, so a single-threaded test replays the identical drop pattern on
+// every run; under concurrent senders the per-message decisions interleave
+// with scheduling, but the drawn sequence itself is still fixed by the seed.
+func WithDropProbability(p float64, seed uint64) BusOption {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("transport: drop probability %v outside [0,1]", p))
+	}
+	return func(b *MemoryBus) {
+		b.dropProb = p
+		b.faultRNG = rng.New(seed)
+	}
+}
+
+// WithPartition blocks the directed link from→to from the start (see
+// Block). Apply it twice with swapped arguments for a symmetric partition.
+func WithPartition(from, to protocol.NodeID) BusOption {
+	return func(b *MemoryBus) { b.blocked[link{from, to}] = struct{}{} }
+}
+
 // NewMemoryBus returns a bus that delays every delivery by the given latency
-// (zero means immediate delivery).
-func NewMemoryBus(latency time.Duration) *MemoryBus {
-	return &MemoryBus{
+// (zero means immediate delivery). Options inject deterministic faults; by
+// default the bus is reliable.
+func NewMemoryBus(latency time.Duration, opts ...BusOption) *MemoryBus {
+	b := &MemoryBus{
 		latency:   latency,
 		endpoints: make(map[protocol.NodeID]*MemoryEndpoint),
+		blocked:   make(map[link]struct{}),
 	}
+	for _, opt := range opts {
+		opt(b)
+	}
+	return b
+}
+
+// Block cuts the directed link from→to: messages sent along it are dropped
+// (and counted as such) until Unblock. Blocking both directions partitions
+// the pair. It is safe to call while the bus is in use, so tests can open
+// and heal partitions mid-run.
+func (b *MemoryBus) Block(from, to protocol.NodeID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.blocked[link{from, to}] = struct{}{}
+}
+
+// Unblock heals the directed link from→to.
+func (b *MemoryBus) Unblock(from, to protocol.NodeID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.blocked, link{from, to})
 }
 
 // Endpoint creates (or returns the existing) endpoint for the given node ID.
@@ -79,10 +141,16 @@ func (b *MemoryBus) Close() error {
 
 func (b *MemoryBus) route(from, to protocol.NodeID, payload any) {
 	b.mu.RLock()
+	_, cut := b.blocked[link{from, to}]
+	lottery := b.dropProb > 0
 	ep, ok := b.endpoints[to]
 	closed := b.closed
 	b.mu.RUnlock()
-	if !ok || closed {
+	if cut || !ok || closed {
+		b.countDrop()
+		return
+	}
+	if lottery && b.drawDrop() {
 		b.countDrop()
 		return
 	}
@@ -99,6 +167,15 @@ func (b *MemoryBus) countDrop() {
 	b.mu.Lock()
 	b.dropped++
 	b.mu.Unlock()
+}
+
+// drawDrop runs the loss lottery. Only an actual draw takes the write lock
+// (it advances the generator); the fault-free hot path never reaches here,
+// so reliable buses pay nothing beyond route's existing read lock.
+func (b *MemoryBus) drawDrop() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.faultRNG.Float64() < b.dropProb
 }
 
 type queuedMessage struct {
