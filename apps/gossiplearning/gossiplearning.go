@@ -44,16 +44,17 @@ func NewWalker() *Walker { return &Walker{} }
 // Age returns the age (number of visited nodes) of the locally stored model.
 func (w *Walker) Age() int { return w.age }
 
-// CreateMessage copies the current model.
-func (w *Walker) CreateMessage() any { return ModelMessage{Age: w.age} }
+// CreateMessage copies the current model, word-encoded so the simulator's
+// message path stays allocation-free (see ModelMessage.Payload).
+func (w *Walker) CreateMessage() protocol.Payload { return ModelMessage{Age: w.age}.Payload() }
 
 // UpdateState implements ONMODEL within the framework: if the received model
 // is at least as old (has visited at least as many nodes) as the local one,
 // it is trained on the local example — its age grows by one — and stored; the
 // message was useful. Otherwise the local state is unchanged and the message
 // was not useful.
-func (w *Walker) UpdateState(_ protocol.NodeID, payload any) bool {
-	m, ok := payload.(ModelMessage)
+func (w *Walker) UpdateState(_ protocol.NodeID, payload protocol.Payload) bool {
+	m, ok := ModelMessageFromPayload(payload)
 	if !ok {
 		return false
 	}
@@ -62,6 +63,38 @@ func (w *Walker) UpdateState(_ protocol.NodeID, payload any) bool {
 	}
 	w.age = m.Age + 1
 	return true
+}
+
+// Payload encodes the message compactly: an age-only message (nil Weights,
+// the form the paper's experiments exchange) fits in the payload word, so it
+// never needs boxing; a message carrying real weights falls back to the
+// boxed representation.
+func (m ModelMessage) Payload() protocol.Payload {
+	if m.Weights == nil {
+		return protocol.WordPayload(protocol.KindModelAge, uint64(m.Age))
+	}
+	return protocol.BoxPayload(m)
+}
+
+// ModelMessageFromPayload decodes a model message from either
+// representation: the word-encoded age-only form used inside the simulator,
+// or a boxed ModelMessage as produced by a wire transport, the SGD learner
+// or a custom sender.
+func ModelMessageFromPayload(p protocol.Payload) (ModelMessage, bool) {
+	switch p.Kind {
+	case protocol.KindModelAge:
+		return ModelMessage{Age: int(p.Word)}, true
+	case protocol.KindBoxed:
+		m, ok := p.Box.(ModelMessage)
+		return m, ok
+	}
+	return ModelMessage{}, false
+}
+
+func init() {
+	protocol.RegisterPayloadDecoder(protocol.KindModelAge, func(word uint64) any {
+		return ModelMessage{Age: int(word)}
+	})
 }
 
 // String returns a short description for logs.

@@ -3,6 +3,8 @@ package gossiplearning
 import (
 	"math"
 	"testing"
+
+	"github.com/szte-dcs/tokenaccount/protocol"
 )
 
 func TestWalkerUsefulness(t *testing.T) {
@@ -11,21 +13,21 @@ func TestWalkerUsefulness(t *testing.T) {
 		t.Fatalf("initial age = %d", w.Age())
 	}
 	// Equal age is useful: the received model gets trained and adopted.
-	if !w.UpdateState(1, ModelMessage{Age: 0}) {
+	if !w.UpdateState(1, ModelMessage{Age: 0}.Payload()) {
 		t.Error("equal-age model should be useful")
 	}
 	if w.Age() != 1 {
 		t.Errorf("age after update = %d, want 1", w.Age())
 	}
 	// Older (smaller age) received model is not useful and leaves state.
-	if w.UpdateState(2, ModelMessage{Age: 0}) {
+	if w.UpdateState(2, ModelMessage{Age: 0}.Payload()) {
 		t.Error("stale model should not be useful")
 	}
 	if w.Age() != 1 {
 		t.Errorf("age changed on stale model: %d", w.Age())
 	}
 	// Fresher model is adopted with age+1.
-	if !w.UpdateState(3, ModelMessage{Age: 10}) {
+	if !w.UpdateState(3, ModelMessage{Age: 10}.Payload()) {
 		t.Error("fresher model should be useful")
 	}
 	if w.Age() != 11 {
@@ -35,7 +37,7 @@ func TestWalkerUsefulness(t *testing.T) {
 
 func TestWalkerIgnoresForeignPayloads(t *testing.T) {
 	w := NewWalker()
-	if w.UpdateState(1, "not a model") {
+	if w.UpdateState(1, protocol.BoxPayload("not a model")) {
 		t.Error("foreign payload reported useful")
 	}
 	if w.Age() != 0 {
@@ -45,8 +47,8 @@ func TestWalkerIgnoresForeignPayloads(t *testing.T) {
 
 func TestWalkerCreateMessage(t *testing.T) {
 	w := NewWalker()
-	w.UpdateState(1, ModelMessage{Age: 4})
-	m, ok := w.CreateMessage().(ModelMessage)
+	w.UpdateState(1, ModelMessage{Age: 4}.Payload())
+	m, ok := ModelMessageFromPayload(w.CreateMessage())
 	if !ok || m.Age != 5 {
 		t.Errorf("CreateMessage = %#v, want age 5", m)
 	}
@@ -90,12 +92,31 @@ func TestWalkerChainModelsIdealWalk(t *testing.T) {
 		nodes[i] = NewWalker()
 	}
 	for i := 0; i < hops; i++ {
-		msg := nodes[i].CreateMessage().(ModelMessage)
+		msg := nodes[i].CreateMessage()
 		if !nodes[i+1].UpdateState(0, msg) {
 			t.Fatalf("hop %d was not useful", i)
 		}
 	}
 	if nodes[hops].Age() != hops {
 		t.Errorf("final age = %d, want %d", nodes[hops].Age(), hops)
+	}
+}
+
+func TestModelPayloadRoundTrip(t *testing.T) {
+	// Age-only messages use the word encoding.
+	m := ModelMessage{Age: 9}
+	if p := m.Payload(); p.Kind != protocol.KindModelAge {
+		t.Errorf("age-only payload kind = %v", p.Kind)
+	}
+	if got, ok := ModelMessageFromPayload(m.Payload()); !ok || got.Age != 9 || got.Weights != nil {
+		t.Errorf("round trip = %+v, %v", got, ok)
+	}
+	// Messages with real weights (the SGD learner) fall back to boxing.
+	w := ModelMessage{Age: 2, Weights: []float64{1, 2}}
+	if p := w.Payload(); p.Kind != protocol.KindBoxed {
+		t.Errorf("weighted payload kind = %v", p.Kind)
+	}
+	if got, ok := ModelMessageFromPayload(w.Payload()); !ok || got.Age != 2 || len(got.Weights) != 2 {
+		t.Errorf("weighted round trip = %+v, %v", got, ok)
 	}
 }

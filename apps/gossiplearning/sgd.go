@@ -110,16 +110,18 @@ func NewSGDLearner(dim int, example Example, eta float64) (*SGDLearner, error) {
 // Model returns the locally stored model.
 func (l *SGDLearner) Model() *LogisticModel { return l.model }
 
-// CreateMessage copies the current model into a ModelMessage.
-func (l *SGDLearner) CreateMessage() any {
-	return ModelMessage{Age: l.model.Age, Weights: append([]float64(nil), l.model.Weights...)}
+// CreateMessage copies the current model into a ModelMessage. Real weights
+// do not fit in a payload word, so the SGD learner uses the boxed
+// representation (see ModelMessage.Payload).
+func (l *SGDLearner) CreateMessage() protocol.Payload {
+	return ModelMessage{Age: l.model.Age, Weights: append([]float64(nil), l.model.Weights...)}.Payload()
 }
 
 // UpdateState adopts the received model if it is at least as old as the local
 // one, trains it on the local example and reports usefulness exactly like
 // Walker.
-func (l *SGDLearner) UpdateState(_ protocol.NodeID, payload any) bool {
-	m, ok := payload.(ModelMessage)
+func (l *SGDLearner) UpdateState(_ protocol.NodeID, payload protocol.Payload) bool {
+	m, ok := ModelMessageFromPayload(payload)
 	if !ok || m.Weights == nil {
 		return false
 	}

@@ -3,6 +3,8 @@ package gossiplearning
 import (
 	"math"
 	"testing"
+
+	"github.com/szte-dcs/tokenaccount/protocol"
 )
 
 func TestLogisticModelUpdateValidation(t *testing.T) {
@@ -123,25 +125,28 @@ func TestSGDLearnerFollowsWalkerSemantics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	msg := a.CreateMessage().(ModelMessage)
+	msg, ok := ModelMessageFromPayload(a.CreateMessage())
+	if !ok {
+		t.Fatal("CreateMessage did not decode as ModelMessage")
+	}
 	if msg.Age != 0 || msg.Weights == nil {
 		t.Fatalf("CreateMessage = %+v", msg)
 	}
-	if !b.UpdateState(0, msg) {
+	if !b.UpdateState(0, msg.Payload()) {
 		t.Error("fresh model should be useful")
 	}
 	if b.Model().Age != 1 {
 		t.Errorf("age = %d, want 1", b.Model().Age)
 	}
 	// A stale model (lower age) is rejected.
-	if b.UpdateState(0, ModelMessage{Age: 0, Weights: make([]float64, 4)}) {
+	if b.UpdateState(0, ModelMessage{Age: 0, Weights: make([]float64, 4)}.Payload()) {
 		t.Error("stale model should not be useful")
 	}
 	// Foreign payloads and age-only messages are rejected.
-	if b.UpdateState(0, ModelMessage{Age: 10}) {
+	if b.UpdateState(0, ModelMessage{Age: 10}.Payload()) {
 		t.Error("weightless message should not be useful for the SGD learner")
 	}
-	if b.UpdateState(0, 42) {
+	if b.UpdateState(0, protocol.BoxPayload(42)) {
 		t.Error("foreign payload accepted")
 	}
 }
@@ -160,12 +165,16 @@ func TestSGDWalkLearns(t *testing.T) {
 		learners[i] = l
 	}
 	// Deterministic walk: visit nodes round-robin for a few passes.
-	msg := learners[0].CreateMessage().(ModelMessage)
+	walk := learners[0].CreateMessage()
 	for pass := 0; pass < 6; pass++ {
 		for _, l := range learners {
-			l.UpdateState(0, msg)
-			msg = l.CreateMessage().(ModelMessage)
+			l.UpdateState(0, walk)
+			walk = l.CreateMessage()
 		}
+	}
+	msg, ok := ModelMessageFromPayload(walk)
+	if !ok {
+		t.Fatal("walk message did not decode as ModelMessage")
 	}
 	final := &LogisticModel{Weights: msg.Weights, Age: msg.Age}
 	if acc := final.Accuracy(data); acc < 0.9 {

@@ -12,6 +12,7 @@ package poweriter
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/szte-dcs/tokenaccount/internal/linalg"
 	"github.com/szte-dcs/tokenaccount/overlay"
@@ -21,6 +22,33 @@ import (
 // WeightMessage carries the sender's current value x.
 type WeightMessage struct {
 	X float64
+}
+
+// Payload word-encodes the message: the IEEE-754 bits of x fit in the
+// payload word, so the message never needs boxing and the simulator's
+// message path stays allocation-free.
+func (m WeightMessage) Payload() protocol.Payload {
+	return protocol.WordPayload(protocol.KindWeight, math.Float64bits(m.X))
+}
+
+// WeightMessageFromPayload decodes a weight message from either
+// representation: the word-encoded form used inside the simulator, or a
+// boxed WeightMessage as produced by a wire transport or a custom sender.
+func WeightMessageFromPayload(p protocol.Payload) (WeightMessage, bool) {
+	switch p.Kind {
+	case protocol.KindWeight:
+		return WeightMessage{X: math.Float64frombits(p.Word)}, true
+	case protocol.KindBoxed:
+		m, ok := p.Box.(WeightMessage)
+		return m, ok
+	}
+	return WeightMessage{}, false
+}
+
+func init() {
+	protocol.RegisterPayloadDecoder(protocol.KindWeight, func(word uint64) any {
+		return WeightMessage{X: math.Float64frombits(word)}
+	})
 }
 
 // State is the per-node state of the chaotic iteration. It implements
@@ -92,8 +120,8 @@ func (s *State) Value() float64 {
 
 // CreateMessage copies the current value, recomputing it from the buffered
 // in-neighbour values first (line 4 of Algorithm 3).
-func (s *State) CreateMessage() any {
-	return WeightMessage{X: s.Value()}
+func (s *State) CreateMessage() protocol.Payload {
+	return WeightMessage{X: s.Value()}.Payload()
 }
 
 // UpdateState implements ONWEIGHT: store the received value in the buffer of
@@ -101,8 +129,8 @@ func (s *State) CreateMessage() any {
 // value ("usefulness is 1 if and only if the received message causes a change
 // in the local state"). Messages from nodes that are not in-neighbours (which
 // cannot happen over a fixed overlay) are ignored.
-func (s *State) UpdateState(from protocol.NodeID, payload any) bool {
-	m, ok := payload.(WeightMessage)
+func (s *State) UpdateState(from protocol.NodeID, payload protocol.Payload) bool {
+	m, ok := WeightMessageFromPayload(payload)
 	if !ok {
 		return false
 	}

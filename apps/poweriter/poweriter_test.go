@@ -33,7 +33,7 @@ func TestInitialValueFromBuffers(t *testing.T) {
 	if s.Value() != InitialBufferValue {
 		t.Errorf("initial value = %v, want %v", s.Value(), InitialBufferValue)
 	}
-	m, ok := s.CreateMessage().(WeightMessage)
+	m, ok := WeightMessageFromPayload(s.CreateMessage())
 	if !ok || m.X != InitialBufferValue {
 		t.Errorf("CreateMessage = %#v", m)
 	}
@@ -48,23 +48,23 @@ func TestUpdateStateUsefulness(t *testing.T) {
 	inNbrs := g.InNeighbors(0)
 	from := protocol.NodeID(inNbrs[0])
 	// Sending the same value as the buffer (1.0) changes nothing: not useful.
-	if s.UpdateState(from, WeightMessage{X: InitialBufferValue}) {
+	if s.UpdateState(from, WeightMessage{X: InitialBufferValue}.Payload()) {
 		t.Error("unchanged value reported useful")
 	}
 	// A different value is useful and changes the local value.
 	before := s.Value()
-	if !s.UpdateState(from, WeightMessage{X: 3}) {
+	if !s.UpdateState(from, WeightMessage{X: 3}.Payload()) {
 		t.Error("changed value not reported useful")
 	}
 	if s.Value() == before {
 		t.Error("value did not change after buffer update")
 	}
 	// Messages from non-in-neighbours are ignored.
-	if s.UpdateState(protocol.NodeID(1), WeightMessage{X: 5}) {
+	if s.UpdateState(protocol.NodeID(1), WeightMessage{X: 5}.Payload()) {
 		t.Error("message from non-in-neighbour accepted")
 	}
 	// Foreign payloads are ignored.
-	if s.UpdateState(from, 3.0) {
+	if s.UpdateState(from, protocol.BoxPayload(3.0)) {
 		t.Error("foreign payload accepted")
 	}
 	if s.String() == "" {
@@ -81,8 +81,8 @@ func TestValueRecomputation(t *testing.T) {
 		t.Fatal(err)
 	}
 	in := g.InNeighbors(0)
-	s.UpdateState(protocol.NodeID(in[0]), WeightMessage{X: 4})
-	s.UpdateState(protocol.NodeID(in[1]), WeightMessage{X: 2})
+	s.UpdateState(protocol.NodeID(in[0]), WeightMessage{X: 4}.Payload())
+	s.UpdateState(protocol.NodeID(in[1]), WeightMessage{X: 2}.Payload())
 	if got := s.Value(); math.Abs(got-3) > 1e-12 {
 		t.Errorf("Value = %v, want 3", got)
 	}
@@ -155,9 +155,9 @@ func TestSynchronousGossipConverges(t *testing.T) {
 	initial := Angle(states, ref)
 	for round := 0; round < 400; round++ {
 		// Snapshot values, then deliver to every out-neighbour.
-		msgs := make([]WeightMessage, g.N())
+		msgs := make([]protocol.Payload, g.N())
 		for i, s := range states {
-			msgs[i] = s.CreateMessage().(WeightMessage)
+			msgs[i] = s.CreateMessage()
 		}
 		for i := range states {
 			for _, to := range g.OutNeighbors(i) {
@@ -199,7 +199,7 @@ func TestAsynchronousRandomGossipConverges(t *testing.T) {
 		i := src.Intn(g.N())
 		nbrs := g.OutNeighbors(i)
 		to := nbrs[src.Intn(len(nbrs))]
-		msg := states[i].CreateMessage().(WeightMessage)
+		msg := states[i].CreateMessage()
 		states[to].UpdateState(protocol.NodeID(i), msg)
 	}
 	if final := Angle(states, ref); final > 0.1 {
@@ -225,5 +225,18 @@ func TestVectorHelper(t *testing.T) {
 		if x != InitialBufferValue {
 			t.Errorf("initial vector entry = %v", x)
 		}
+	}
+}
+
+func TestWeightPayloadRoundTrip(t *testing.T) {
+	for _, x := range []float64{0, 1, -3.25, 1e-300} {
+		m := WeightMessage{X: x}
+		got, ok := WeightMessageFromPayload(m.Payload())
+		if !ok || got != m {
+			t.Errorf("round trip of %+v = %+v, %v", m, got, ok)
+		}
+	}
+	if v, ok := (WeightMessage{X: 2.5}).Payload().Value().(WeightMessage); !ok || v.X != 2.5 {
+		t.Errorf("Value() = %#v", v)
 	}
 }

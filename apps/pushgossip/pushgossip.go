@@ -45,14 +45,15 @@ func (s *State) Inject(seq int64) {
 	}
 }
 
-// CreateMessage copies the freshest known update.
-func (s *State) CreateMessage() any { return Update{Seq: s.seq} }
+// CreateMessage copies the freshest known update, word-encoded so the
+// simulator's message path stays allocation-free (see Update.Payload).
+func (s *State) CreateMessage() protocol.Payload { return Update{Seq: s.seq}.Payload() }
 
 // UpdateState adopts the received update if it is fresher than the known one
 // and reports usefulness accordingly ("usefulness is 1 if and only if the
 // received message contains a newer update than the locally stored update").
-func (s *State) UpdateState(_ protocol.NodeID, payload any) bool {
-	u, ok := payload.(Update)
+func (s *State) UpdateState(_ protocol.NodeID, payload protocol.Payload) bool {
+	u, ok := UpdateFromPayload(payload)
 	if !ok {
 		return false
 	}
@@ -61,6 +62,33 @@ func (s *State) UpdateState(_ protocol.NodeID, payload any) bool {
 	}
 	s.seq = u.Seq
 	return true
+}
+
+// Payload word-encodes the update: the sequence number's two's-complement
+// bits fit in the payload word (Seq may be -1 for "no update yet"), so the
+// message never needs boxing.
+func (u Update) Payload() protocol.Payload {
+	return protocol.WordPayload(protocol.KindUpdateSeq, uint64(u.Seq))
+}
+
+// UpdateFromPayload decodes an update from either representation: the
+// word-encoded form used inside the simulator, or a boxed Update as produced
+// by a wire transport or a custom sender.
+func UpdateFromPayload(p protocol.Payload) (Update, bool) {
+	switch p.Kind {
+	case protocol.KindUpdateSeq:
+		return Update{Seq: int64(p.Word)}, true
+	case protocol.KindBoxed:
+		u, ok := p.Box.(Update)
+		return u, ok
+	}
+	return Update{}, false
+}
+
+func init() {
+	protocol.RegisterPayloadDecoder(protocol.KindUpdateSeq, func(word uint64) any {
+		return Update{Seq: int64(word)}
+	})
 }
 
 // String returns a short description for logs.

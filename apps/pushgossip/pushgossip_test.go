@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"github.com/szte-dcs/tokenaccount/protocol"
 )
 
 func TestUpdateStateFreshness(t *testing.T) {
@@ -11,25 +13,25 @@ func TestUpdateStateFreshness(t *testing.T) {
 	if s.Seq() != NoUpdate {
 		t.Fatalf("initial seq = %d", s.Seq())
 	}
-	if !s.UpdateState(1, Update{Seq: 5}) {
+	if !s.UpdateState(1, Update{Seq: 5}.Payload()) {
 		t.Error("first update should be useful")
 	}
 	if s.Seq() != 5 {
 		t.Errorf("seq = %d, want 5", s.Seq())
 	}
-	if s.UpdateState(1, Update{Seq: 5}) {
+	if s.UpdateState(1, Update{Seq: 5}.Payload()) {
 		t.Error("duplicate update should not be useful")
 	}
-	if s.UpdateState(1, Update{Seq: 3}) {
+	if s.UpdateState(1, Update{Seq: 3}.Payload()) {
 		t.Error("older update should not be useful")
 	}
 	if s.Seq() != 5 {
 		t.Errorf("seq changed on stale update: %d", s.Seq())
 	}
-	if !s.UpdateState(1, Update{Seq: 9}) {
+	if !s.UpdateState(1, Update{Seq: 9}.Payload()) {
 		t.Error("fresher update should be useful")
 	}
-	if s.UpdateState(1, "garbage") {
+	if s.UpdateState(1, protocol.BoxPayload("garbage")) {
 		t.Error("foreign payload reported useful")
 	}
 }
@@ -44,7 +46,7 @@ func TestInject(t *testing.T) {
 	if s.Seq() != 3 {
 		t.Errorf("seq = %d, want 3", s.Seq())
 	}
-	m, ok := s.CreateMessage().(Update)
+	m, ok := UpdateFromPayload(s.CreateMessage())
 	if !ok || m.Seq != 3 {
 		t.Errorf("CreateMessage = %#v", m)
 	}
@@ -98,7 +100,7 @@ func TestQuickSeqIsMonotone(t *testing.T) {
 		s := New()
 		prev := s.Seq()
 		for _, u := range updates {
-			s.UpdateState(0, Update{Seq: u})
+			s.UpdateState(0, Update{Seq: u}.Payload())
 			if s.Seq() < prev {
 				return false
 			}
@@ -114,10 +116,32 @@ func TestQuickSeqIsMonotone(t *testing.T) {
 func TestQuickUsefulIffFresher(t *testing.T) {
 	f := func(current, incoming int64) bool {
 		s := &State{seq: current}
-		useful := s.UpdateState(0, Update{Seq: incoming})
+		useful := s.UpdateState(0, Update{Seq: incoming}.Payload())
 		return useful == (incoming > current)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	// Seq may be negative (NoUpdate): the two's-complement word must round-trip.
+	for _, seq := range []int64{NoUpdate, 0, 7, 1 << 40} {
+		u := Update{Seq: seq}
+		got, ok := UpdateFromPayload(u.Payload())
+		if !ok || got != u {
+			t.Errorf("round trip of %+v = %+v, %v", u, got, ok)
+		}
+	}
+	// The boxed representation (wire transports, custom senders) decodes too.
+	if got, ok := UpdateFromPayload(protocol.BoxPayload(Update{Seq: 3})); !ok || got.Seq != 3 {
+		t.Errorf("boxed round trip = %+v, %v", got, ok)
+	}
+	if _, ok := UpdateFromPayload(protocol.BoxPayload("garbage")); ok {
+		t.Error("foreign boxed payload decoded")
+	}
+	// The registered decoder reproduces the concrete value for transports.
+	if v, ok := (Update{Seq: 5}).Payload().Value().(Update); !ok || v.Seq != 5 {
+		t.Errorf("Value() = %#v", v)
 	}
 }

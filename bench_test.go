@@ -266,29 +266,61 @@ func BenchmarkMeanFieldODE(b *testing.B) {
 	}
 }
 
-// BenchmarkSimulatorThroughput measures raw simulator performance: events per
-// second for a mid-sized gossip learning network, the number that determines
-// how long the full-scale Figure 4 run takes.
+// BenchmarkSimulatorThroughput measures raw steady-state simulator
+// performance: events per second for a mid-sized gossip learning network,
+// the number that determines how long the full-scale Figure 4 run takes.
+// The network is assembled and warmed up outside the timed region, so the
+// loop measures exactly the Send → queue → deliver → Receive → reactive
+// Send cycle; one op advances virtual time by one proactive period Δ. In
+// steady state this path performs zero heap allocations (guarded by
+// cmd/benchreport in CI).
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		g, err := overlay.RandomKOut(1000, 20, 1)
-		if err != nil {
-			b.Fatal(err)
-		}
-		net, err := simnet.New(simnet.Config{
-			Graph:         g,
-			Strategy:      func(int) core.Strategy { return core.MustRandomized(5, 10) },
-			NewApp:        func(int) protocol.Application { return gossiplearning.NewWalker() },
-			Delta:         172.8,
-			TransferDelay: 1.728,
-			Seed:          uint64(i),
+	for _, kind := range []sim.QueueKind{sim.QueueSlab, sim.QueueCalendar} {
+		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			benchmarkThroughput(b, kind, 1000, 20)
 		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		net.Run(100 * 172.8)
-		b.ReportMetric(float64(net.Engine().Processed()), "events/op")
+	}
+}
+
+// benchmarkThroughput runs the steady-state throughput loop on n nodes after
+// warming up for the given number of rounds. cmd/benchreport implements the
+// same harness for its tracked report; comparisons against BENCH_PR4.json
+// must use benchreport, not this benchmark.
+func benchmarkThroughput(b *testing.B, kind sim.QueueKind, n, warmupRounds int) {
+	b.Helper()
+	const delta = 172.8
+	g, err := overlay.RandomKOut(n, 20, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := simnet.New(simnet.Config{
+		Graph:         g,
+		Strategy:      func(int) core.Strategy { return core.MustRandomized(5, 10) },
+		NewApp:        func(int) protocol.Application { return gossiplearning.NewWalker() },
+		Delta:         delta,
+		TransferDelay: 1.728,
+		Seed:          1,
+		Queue:         kind,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm up: grows the event slab, scratch buffers and token balances to
+	// their steady-state high-water marks.
+	horizon := float64(warmupRounds) * delta
+	net.Run(horizon)
+	b.ResetTimer()
+	start := net.Engine().Processed()
+	for i := 0; i < b.N; i++ {
+		horizon += delta
+		net.Run(horizon)
+	}
+	b.StopTimer()
+	events := float64(net.Engine().Processed() - start)
+	b.ReportMetric(events/float64(b.N), "events/op")
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(events/s, "events/sec")
 	}
 }
 
@@ -401,12 +433,13 @@ func BenchmarkSweepGridWorkers(b *testing.B) {
 // BenchmarkSchedulerQueues is the scheduler micro-benchmark behind the
 // DESIGN.md queue choice: a classic hold-model workload (every executed event
 // schedules one successor at a random future offset) over a few thousand
-// pending events, comparing the default index-slab 4-ary heap against the
-// container/heap reference. The slab queue's advantage is that Schedule/Step
-// never box events into interfaces, so its steady state allocates nothing.
+// pending events, comparing the default index-slab 4-ary heap and the
+// calendar queue against the container/heap reference. The slab and calendar
+// queues never box events into interfaces, so their steady states allocate
+// nothing.
 func BenchmarkSchedulerQueues(b *testing.B) {
 	const pending = 4096
-	for _, kind := range []sim.QueueKind{sim.QueueSlab, sim.QueueHeap} {
+	for _, kind := range []sim.QueueKind{sim.QueueSlab, sim.QueueHeap, sim.QueueCalendar} {
 		b.Run(kind.String(), func(b *testing.B) {
 			b.ReportAllocs()
 			e := sim.NewEngineWithQueue(kind)

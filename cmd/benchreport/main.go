@@ -1,0 +1,371 @@
+// Command benchreport runs the paper-figure and simulator benchmarks through
+// testing.Benchmark and emits a machine-readable JSON report with ns/op,
+// allocs/op, bytes/op and events/sec per benchmark. The committed
+// BENCH_PR4.json at the repository root is the report of the PR that
+// introduced the zero-allocation message path; every later PR can diff its
+// own report against it to track the performance trajectory.
+//
+// Usage:
+//
+//	benchreport                    # full dimensions, writes BENCH_PR4.json
+//	benchreport -short -out -      # CI dimensions, report to stdout
+//	benchreport -short -check BENCH_PR4.json
+//
+// With -check the exit status is non-zero if any guarded benchmark (the
+// steady-state simulator throughput and the allocation-free scheduler
+// queues) reports more allocs/op than the baseline file — the CI allocation
+// regression gate. Guarded allocation counts are size-independent, so a
+// -short run checks cleanly against a full-size baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"github.com/szte-dcs/tokenaccount/core"
+	"github.com/szte-dcs/tokenaccount/experiment"
+	"github.com/szte-dcs/tokenaccount/overlay"
+	"github.com/szte-dcs/tokenaccount/protocol"
+	"github.com/szte-dcs/tokenaccount/sim"
+	"github.com/szte-dcs/tokenaccount/simnet"
+
+	"github.com/szte-dcs/tokenaccount/apps/gossiplearning"
+)
+
+// BenchResult is one benchmark's measurements as serialized into the report.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// EventsPerOp and EventsPerSec report discrete-event scheduler
+	// throughput where the benchmark can attribute events (0 otherwise).
+	EventsPerOp  float64 `json:"events_per_op,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// Guarded marks benchmarks whose allocs/op participate in the -check
+	// regression gate.
+	Guarded bool `json:"guarded,omitempty"`
+}
+
+// Report is the JSON document benchreport emits.
+type Report struct {
+	Tool       string        `json:"tool"`
+	GoVersion  string        `json:"go_version"`
+	Mode       string        `json:"mode"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// spec describes one benchmark: a factory returning the function to measure
+// at the requested scale. The bench function reports attributable scheduler
+// events through b.ReportMetric("events/op") so main can read them back from
+// BenchmarkResult.Extra.
+type spec struct {
+	name    string
+	guarded bool
+	bench   func(short bool) func(b *testing.B)
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out      = fs.String("out", "BENCH_PR4.json", "report destination (- for stdout)")
+		short    = fs.Bool("short", false, "reduced benchmark dimensions (CI mode)")
+		check    = fs.String("check", "", "baseline report; fail if a guarded benchmark's allocs/op regresses above it")
+		quiet    = fs.Bool("q", false, "suppress per-benchmark progress on stderr")
+		baseline *Report
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *check != "" {
+		var err error
+		baseline, err = readReport(*check)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchreport:", err)
+			return 2
+		}
+	}
+	report := Report{Tool: "benchreport", GoVersion: runtime.Version(), Mode: mode(*short)}
+	for _, s := range specs() {
+		if !*quiet {
+			fmt.Fprintf(stderr, "benchreport: running %s...\n", s.name)
+		}
+		r := testing.Benchmark(s.bench(*short))
+		br := BenchResult{
+			Name:        s.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Guarded:     s.guarded,
+		}
+		if ev, ok := r.Extra["events/op"]; ok && br.NsPerOp > 0 {
+			br.EventsPerOp = ev
+			br.EventsPerSec = ev / br.NsPerOp * 1e9
+		}
+		report.Benchmarks = append(report.Benchmarks, br)
+	}
+	if err := writeReport(report, *out, stdout); err != nil {
+		fmt.Fprintln(stderr, "benchreport:", err)
+		return 2
+	}
+	if baseline != nil {
+		if regressed := checkAllocs(report, *baseline, stderr); regressed {
+			return 1
+		}
+		fmt.Fprintln(stderr, "benchreport: guarded allocs/op within baseline")
+	}
+	return 0
+}
+
+func mode(short bool) string {
+	if short {
+		return "short"
+	}
+	return "full"
+}
+
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func writeReport(r Report, out string, stdout io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// checkAllocs compares guarded benchmarks against the baseline and reports
+// whether any regressed. Benchmarks missing from either side are skipped:
+// the gate protects existing guarantees, it does not freeze the benchmark
+// set.
+func checkAllocs(current, baseline Report, stderr io.Writer) bool {
+	base := map[string]BenchResult{}
+	for _, b := range baseline.Benchmarks {
+		if b.Guarded {
+			base[b.Name] = b
+		}
+	}
+	regressed := false
+	for _, b := range current.Benchmarks {
+		if !b.Guarded {
+			continue
+		}
+		ref, ok := base[b.Name]
+		if !ok {
+			continue
+		}
+		if b.AllocsPerOp > ref.AllocsPerOp {
+			fmt.Fprintf(stderr, "benchreport: ALLOC REGRESSION: %s reports %d allocs/op, baseline %d\n",
+				b.Name, b.AllocsPerOp, ref.AllocsPerOp)
+			regressed = true
+		}
+	}
+	return regressed
+}
+
+// specs returns the benchmark set: the Figure 2–5 reproductions, the
+// steady-state simulator throughput, and the scheduler queue micro-benchmark
+// for every queue kind.
+func specs() []spec {
+	figures := []struct {
+		name string
+		run  func(opt experiment.Options) (*experiment.FigureResult, error)
+	}{
+		{"Fig2GossipLearning", func(o experiment.Options) (*experiment.FigureResult, error) {
+			return experiment.Figure2(experiment.GossipLearning, o)
+		}},
+		{"Fig2PushGossip", func(o experiment.Options) (*experiment.FigureResult, error) {
+			return experiment.Figure2(experiment.PushGossip, o)
+		}},
+		{"Fig2ChaoticIteration", func(o experiment.Options) (*experiment.FigureResult, error) {
+			return experiment.Figure2(experiment.ChaoticIteration, o)
+		}},
+		{"Fig3GossipLearning", func(o experiment.Options) (*experiment.FigureResult, error) {
+			return experiment.Figure3(experiment.GossipLearning, o)
+		}},
+		{"Fig3PushGossip", func(o experiment.Options) (*experiment.FigureResult, error) {
+			return experiment.Figure3(experiment.PushGossip, o)
+		}},
+		{"Fig4GossipLearning", func(o experiment.Options) (*experiment.FigureResult, error) {
+			return experiment.Figure4(experiment.GossipLearning, o)
+		}},
+		{"Fig4PushGossip", func(o experiment.Options) (*experiment.FigureResult, error) {
+			return experiment.Figure4(experiment.PushGossip, o)
+		}},
+	}
+	var out []spec
+	for _, f := range figures {
+		f := f
+		out = append(out, spec{name: f.name, bench: func(short bool) func(*testing.B) {
+			opt := figureOptions(f.name, short)
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				events := 0.0
+				for i := 0; i < b.N; i++ {
+					res, err := f.run(opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, r := range res.Results {
+						events += r.EventsProcessed * float64(r.Config.Repetitions)
+					}
+				}
+				b.ReportMetric(events/float64(b.N), "events/op")
+			}
+		}})
+	}
+	out = append(out, spec{name: "Fig5Tokens", bench: func(short bool) func(*testing.B) {
+		opt := figureOptions("Fig5Tokens", short)
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := experiment.Figure5(opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}})
+	for _, kind := range []sim.QueueKind{sim.QueueSlab, sim.QueueCalendar} {
+		kind := kind
+		out = append(out, spec{
+			name:    "SimulatorThroughput/" + kind.String(),
+			guarded: true,
+			bench:   func(short bool) func(*testing.B) { return throughputBench(kind, short) },
+		})
+	}
+	for _, kind := range []sim.QueueKind{sim.QueueSlab, sim.QueueHeap, sim.QueueCalendar} {
+		kind := kind
+		out = append(out, spec{
+			name: "SchedulerQueue/" + kind.String(),
+			// The container/heap reference allocates by design; only the
+			// allocation-free kinds are guarded.
+			guarded: kind != sim.QueueHeap,
+			bench:   func(short bool) func(*testing.B) { return schedulerBench(kind) },
+		})
+	}
+	return out
+}
+
+// figureOptions scales the figure benchmarks: full mode matches the
+// bench_test.go figure benchmarks, short mode fits a CI push.
+func figureOptions(name string, short bool) experiment.Options {
+	opt := experiment.Options{N: 300, Rounds: 100, Repetitions: 1, Seed: 1}
+	if name == "Fig4GossipLearning" || name == "Fig4PushGossip" {
+		opt.N = 2000 // Figure 4 is the large-scale figure
+	}
+	if name == "Fig5Tokens" {
+		opt.Rounds = 150
+	}
+	if short {
+		opt.N, opt.Rounds = 120, 30
+		if name == "Fig4GossipLearning" || name == "Fig4PushGossip" {
+			opt.N = 400
+		}
+	}
+	return opt
+}
+
+// throughputBench measures the steady-state message path exactly like
+// BenchmarkSimulatorThroughput: network assembly and warm-up happen outside
+// the timed region, one op advances virtual time by one proactive period.
+// Its allocs/op is the committed zero-allocation guarantee.
+func throughputBench(kind sim.QueueKind, short bool) func(b *testing.B) {
+	n, warmup := 1000, 50
+	if short {
+		n, warmup = 300, 50
+	}
+	return func(b *testing.B) {
+		const delta = 172.8
+		g, err := overlay.RandomKOut(n, 20, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		net, err := simnet.New(simnet.Config{
+			Graph:         g,
+			Strategy:      func(int) core.Strategy { return core.MustRandomized(5, 10) },
+			NewApp:        func(int) protocol.Application { return gossiplearning.NewWalker() },
+			Delta:         delta,
+			TransferDelay: 1.728,
+			Seed:          1,
+			Queue:         kind,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		horizon := float64(warmup) * delta
+		net.Run(horizon)
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := net.Engine().Processed()
+		for i := 0; i < b.N; i++ {
+			horizon += delta
+			net.Run(horizon)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(net.Engine().Processed()-start)/float64(b.N), "events/op")
+	}
+}
+
+// schedulerBench is the hold-model micro-benchmark: every executed event
+// schedules one successor at a random future offset over a few thousand
+// pending events. It is an independent harness from the repo's
+// BenchmarkSchedulerQueues (different offset stream), so its numbers are
+// only comparable to other benchreport runs — which is all the -check gate
+// ever compares.
+func schedulerBench(kind sim.QueueKind) func(b *testing.B) {
+	return func(b *testing.B) {
+		const pending = 4096
+		e := sim.NewEngineWithQueue(kind)
+		state := uint64(0x9e3779b97f4a7c15)
+		next := func() float64 {
+			// SplitMix64 step, mapped to [0, 100).
+			state += 0x9e3779b97f4a7c15
+			z := state
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			return float64((z^(z>>31))>>11) / (1 << 53) * 100
+		}
+		var hold func()
+		hold = func() { e.Schedule(next(), hold) }
+		for i := 0; i < pending; i++ {
+			e.Schedule(next(), hold)
+		}
+		// Warm the structure through a full turnover before timing.
+		for i := 0; i < 4*pending; i++ {
+			e.Step()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Step()
+		}
+		b.ReportMetric(1, "events/op")
+	}
+}

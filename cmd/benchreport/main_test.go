@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckAllocs(t *testing.T) {
+	baseline := Report{Benchmarks: []BenchResult{
+		{Name: "SimulatorThroughput/slab", AllocsPerOp: 0, Guarded: true},
+		{Name: "SchedulerQueue/calendar", AllocsPerOp: 0, Guarded: true},
+		{Name: "Fig2PushGossip", AllocsPerOp: 100}, // unguarded: never gates
+	}}
+	cases := []struct {
+		name      string
+		current   Report
+		regressed bool
+	}{
+		{"clean", Report{Benchmarks: []BenchResult{
+			{Name: "SimulatorThroughput/slab", AllocsPerOp: 0, Guarded: true},
+			{Name: "Fig2PushGossip", AllocsPerOp: 999999},
+		}}, false},
+		{"regression", Report{Benchmarks: []BenchResult{
+			{Name: "SimulatorThroughput/slab", AllocsPerOp: 1, Guarded: true},
+		}}, true},
+		{"new guarded benchmark skipped", Report{Benchmarks: []BenchResult{
+			{Name: "Brand/new", AllocsPerOp: 50, Guarded: true},
+		}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf strings.Builder
+			if got := checkAllocs(tc.current, baseline, &buf); got != tc.regressed {
+				t.Errorf("checkAllocs = %v, want %v (output: %s)", got, tc.regressed, buf.String())
+			}
+		})
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.json")
+	in := Report{Tool: "benchreport", Mode: "short", Benchmarks: []BenchResult{
+		{Name: "x", Iterations: 3, NsPerOp: 1.5, AllocsPerOp: 2, EventsPerOp: 10, EventsPerSec: 4, Guarded: true},
+	}}
+	if err := writeReport(in, path, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(in)
+	b, _ := json.Marshal(*out)
+	if string(a) != string(b) {
+		t.Errorf("round trip changed the report:\n%s\n%s", a, b)
+	}
+	if _, err := readReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("readReport on a missing file succeeded")
+	}
+}
+
+// TestCommittedBaselineParses keeps the repository-root BENCH_PR4.json
+// loadable by the -check gate and its guarded guarantees intact: the
+// steady-state throughput and the allocation-free queues must be pinned at
+// 0 allocs/op.
+func TestCommittedBaselineParses(t *testing.T) {
+	r, err := readReport(filepath.Join("..", "..", "BENCH_PR4.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded := 0
+	for _, b := range r.Benchmarks {
+		if !b.Guarded {
+			continue
+		}
+		guarded++
+		if b.AllocsPerOp != 0 {
+			t.Errorf("guarded benchmark %s committed with %d allocs/op", b.Name, b.AllocsPerOp)
+		}
+	}
+	if guarded < 4 {
+		t.Errorf("only %d guarded benchmarks in the committed baseline, want ≥ 4", guarded)
+	}
+}
+
+func TestFigureOptionsShortIsSmaller(t *testing.T) {
+	for _, name := range []string{"Fig2PushGossip", "Fig4GossipLearning", "Fig5Tokens"} {
+		full, short := figureOptions(name, false), figureOptions(name, true)
+		if short.N >= full.N || short.Rounds >= full.Rounds {
+			t.Errorf("%s: short options %+v not smaller than full %+v", name, short, full)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-badflag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	if code := run([]string{"-check", filepath.Join(t.TempDir(), "nope.json")}, &out, &errb); code != 2 {
+		t.Errorf("missing baseline exit = %d, want 2", code)
+	}
+}

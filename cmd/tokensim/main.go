@@ -19,6 +19,7 @@ import (
 
 	"github.com/szte-dcs/tokenaccount/experiment"
 	"github.com/szte-dcs/tokenaccount/metrics"
+	"github.com/szte-dcs/tokenaccount/sim"
 
 	// Registered scenarios beyond the paper built-ins. Adding a workload is
 	// one blank import here plus a RegisterScenario call in its package — the
@@ -40,6 +41,7 @@ func run(args []string, w io.Writer) error {
 		strategyName = fs.String("strategy", "randomized:5:10", "strategy kind (with :params, e.g. simple:C, randomized:A:C): "+strings.Join(experiment.StrategyKinds(), ", "))
 		scenarioName = fs.String("scenario", "failure-free", "scenario: "+strings.Join(experiment.Scenarios(), ", "))
 		runtimeName  = fs.String("runtime", "sim", "execution runtime (live takes :timescale, e.g. live:0.001): "+strings.Join(experiment.Runtimes(), ", "))
+		queueName    = fs.String("queue", "", "event queue of the sim runtime: slab, heap, calendar (defaults to the runtime's choice, calendar); all produce identical output")
 		n            = fs.Int("n", 1000, "number of nodes")
 		rounds       = fs.Int("rounds", 200, "number of proactive periods")
 		reps         = fs.Int("reps", 1, "independent repetitions to average")
@@ -67,6 +69,19 @@ func run(args []string, w io.Writer) error {
 	rt, err := experiment.ParseRuntime(*runtimeName)
 	if err != nil {
 		return err
+	}
+	if *queueName != "" {
+		// Reject both non-sim runtimes and runtime specs that already carry
+		// their own parameter (e.g. sim:slab), so -queue never silently
+		// overrides an explicit choice.
+		if !experiment.IsDefaultRuntime(rt) || strings.Contains(*runtimeName, ":") {
+			return fmt.Errorf("-queue applies to the plain sim runtime only (got -runtime %s)", *runtimeName)
+		}
+		kind, err := sim.ParseQueueKind(*queueName)
+		if err != nil {
+			return err
+		}
+		rt = experiment.SimRuntimeWithQueue(kind)
 	}
 	cfg := experiment.Config{
 		App:            app,

@@ -1,9 +1,62 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// TestGoldenMatrixByteIdentity pins the simulator's output bit-for-bit: each
+// golden file under testdata/golden was produced by the pre-typed-event
+// implementation (closure deliveries, boxed `any` payloads, slab queue
+// only), and every app × strategy × scenario cell must reproduce it exactly
+// under every event queue implementation. This is the end-to-end guarantee
+// that the zero-allocation message path and the calendar queue are pure
+// optimizations.
+func TestGoldenMatrixByteIdentity(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "golden", "*.tsv"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no golden files found: %v", err)
+	}
+	for _, file := range files {
+		name := strings.TrimSuffix(filepath.Base(file), ".tsv")
+		parts := strings.SplitN(name, "_", 3)
+		if len(parts) != 3 {
+			t.Fatalf("golden file %q does not parse as app_strategy_scenario", name)
+		}
+		// File names flatten ':' to '-'; restore the parameter separators.
+		app := parts[0]
+		strategy := strings.NewReplacer("randomized-5-10", "randomized:5:10").Replace(parts[1])
+		scenario := strings.NewReplacer("crash-burst-0.4", "crash-burst:0.4").Replace(parts[2])
+		want, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, queue := range []string{"slab", "heap", "calendar"} {
+			t.Run(name+"/"+queue, func(t *testing.T) {
+				var out strings.Builder
+				err := run([]string{
+					"-app", app,
+					"-strategy", strategy,
+					"-scenario", scenario,
+					"-queue", queue,
+					"-n", "60",
+					"-rounds", "20",
+					"-reps", "2",
+					"-seed", "7",
+					"-tokens",
+				}, &out)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if out.String() != string(want) {
+					t.Errorf("output diverged from golden file %s (queue=%s)", file, queue)
+				}
+			})
+		}
+	}
+}
 
 func TestRunSummaryOnly(t *testing.T) {
 	var out strings.Builder
@@ -97,6 +150,10 @@ func TestRunErrors(t *testing.T) {
 		{"-scenario", "bogus"},
 		{"-runtime", "bogus"},
 		{"-runtime", "live:0"},
+		{"-queue", "bogus"},
+		{"-queue", "calendar", "-runtime", "live:0.001"},
+		{"-queue", "heap", "-runtime", "sim:slab"}, // conflicting explicit choices
+		{"-runtime", "sim:bogus"},
 		{"-app", "chaotic-iteration", "-scenario", "smartphone-trace", "-n", "50", "-rounds", "5"},
 		{"-n", "1"},
 		{"-badflag"},

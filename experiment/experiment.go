@@ -218,6 +218,11 @@ type Result struct {
 	Tokens *metrics.Series
 	// MessagesSent is the mean number of messages sent per run.
 	MessagesSent float64
+	// EventsProcessed is the mean number of scheduler events executed per
+	// run, when the runtime can report it (the discrete-event runtime can;
+	// wall-clock runtimes report 0). It is the raw unit behind the
+	// events-per-second throughput numbers of cmd/benchreport.
+	EventsProcessed float64
 	// MessagesPerNodePerRound normalizes MessagesSent by N·Rounds, i.e. the
 	// realized communication budget relative to the proactive baseline's 1.
 	MessagesPerNodePerRound float64
@@ -242,6 +247,7 @@ type singleRun struct {
 	metric *metrics.Series
 	tokens *metrics.Series
 	sent   int64
+	events uint64
 }
 
 // runOnce executes one repetition. It is fully generic: everything
@@ -338,6 +344,9 @@ func runOnce(cfg Config, seed uint64) (*singleRun, error) {
 		return nil, fmt.Errorf("experiment: runtime %s: %w", DriverLabel(cfg.Runtime), err)
 	}
 	run.sent = host.MessagesSent()
+	if p, ok := env.(interface{ Processed() uint64 }); ok {
+		run.events = p.Processed()
+	}
 
 	if cfg.AuditRateLimit {
 		if violations := host.AuditViolations(); len(violations) > 0 {

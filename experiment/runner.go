@@ -104,6 +104,7 @@ type aggregator struct {
 	metric  metrics.Accumulator
 	tokens  metrics.Accumulator
 	sent    float64
+	events  float64
 	next    int
 	pending map[int]*singleRun
 }
@@ -169,6 +170,7 @@ func (a *aggregator) add(rep int, run *singleRun) error {
 			}
 		}
 		a.sent += float64(run.sent)
+		a.events += float64(run.events)
 		a.next++
 		advanced = true
 	}
@@ -189,9 +191,10 @@ func (a *aggregator) finish() (*Result, error) {
 		avg = f.FinishMetric(a.cfg, avg)
 	}
 	res := &Result{
-		Config:       a.cfg,
-		Metric:       avg,
-		MessagesSent: a.sent / float64(a.cfg.Repetitions),
+		Config:          a.cfg,
+		Metric:          avg,
+		MessagesSent:    a.sent / float64(a.cfg.Repetitions),
+		EventsProcessed: a.events / float64(a.cfg.Repetitions),
 	}
 	res.MessagesPerNodePerRound = res.MessagesSent / float64(a.cfg.N) / float64(a.cfg.Rounds)
 	_, res.FinalMetric = avg.Last()

@@ -144,3 +144,25 @@ func TestStatic(t *testing.T) {
 		t.Error("Static with OK=false returned ok")
 	}
 }
+
+// TestOverlaySelectPeerAllocs guards the peer-sampling hot path: once the
+// candidate scratch buffer has grown to the node's degree, a liveness-
+// filtered selection must not allocate.
+func TestOverlaySelectPeerAllocs(t *testing.T) {
+	g, _ := overlay.RandomKOut(50, 20, 3)
+	alive := func(id protocol.NodeID) bool { return id%7 != 0 }
+	s, err := NewOverlay(g, 7, alive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(5)
+	s.SelectPeer(src) // warm up the scratch buffer
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, ok := s.SelectPeer(src); !ok {
+			t.Fatal("SelectPeer failed with live neighbours present")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("SelectPeer allocates %.1f per call, want 0", allocs)
+	}
+}

@@ -251,13 +251,16 @@ func (e *Env) Every(phase, interval float64, fn func() bool) {
 func (e *Env) Rand(stream uint64) protocol.Rand { return rng.New(rng.Derive(e.cfg.Seed, stream)) }
 
 // Send implements runtime.Env: the payload enters the sender's transport
-// endpoint and re-surfaces on the run loop via the delivery queue.
-func (e *Env) Send(from, to protocol.NodeID, payload any) {
+// endpoint and re-surfaces on the run loop via the delivery queue. The
+// transports carry plain values, so a word-encoded payload is decoded back
+// to its concrete message here (Payload.Value); the live path trades one
+// boxing allocation per message for wire compatibility.
+func (e *Env) Send(from, to protocol.NodeID, payload protocol.Payload) {
 	if int(from) < 0 || int(from) >= len(e.trans) {
 		return
 	}
 	// Delivery failures are message loss, which the protocol tolerates.
-	_ = e.trans[from].Send(to, payload)
+	_ = e.trans[from].Send(to, payload.Value())
 }
 
 // SetDeliver implements runtime.Env.
@@ -315,10 +318,12 @@ func (e *Env) nextEventTime(until float64) (float64, bool) {
 	return e.events[0].time, true
 }
 
-// dispatch runs one transport delivery on the run loop.
+// dispatch runs one transport delivery on the run loop. The concrete value
+// that arrived from the wire is re-wrapped as a boxed payload; the built-in
+// applications accept both representations.
 func (e *Env) dispatch(d envDelivery) {
 	if e.deliver != nil {
-		e.deliver(d.from, d.to, d.payload)
+		e.deliver(d.from, d.to, protocol.BoxPayload(d.payload))
 	}
 }
 

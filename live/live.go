@@ -158,10 +158,11 @@ type transportSender struct {
 	transport transport.Transport
 }
 
-func (t transportSender) Send(_, to protocol.NodeID, payload any) {
+func (t transportSender) Send(_, to protocol.NodeID, payload protocol.Payload) {
 	// Delivery failures are equivalent to message loss, which the protocol
-	// tolerates; there is nothing useful to do with the error here.
-	_ = t.transport.Send(to, payload)
+	// tolerates; there is nothing useful to do with the error here. The
+	// transport carries plain values, so the payload is unwrapped here.
+	_ = t.transport.Send(to, payload.Value())
 }
 
 // enqueue is the transport handler: it forwards the message to the service
@@ -213,7 +214,7 @@ func (s *Service) Run(ctx context.Context) error {
 					s.dropped++
 					return
 				}
-				n.Receive(m.from, m.payload)
+				n.Receive(m.from, protocol.BoxPayload(m.payload))
 			})
 		}
 	}

@@ -1,0 +1,90 @@
+package protocol
+
+import "sync"
+
+// PayloadKind discriminates the compact message representation of Payload.
+// The zero kind is the generic boxed path; the non-zero kinds are word-sized
+// encodings for the pointer-free messages of the paper's three demonstrator
+// applications, so that the simulator's steady-state message path never
+// boxes a payload into an interface (and therefore never allocates).
+type PayloadKind uint32
+
+const (
+	// KindBoxed is the generic representation: the payload value lives in
+	// Payload.Box as an interface. Custom registry applications use this
+	// path; it costs one heap allocation per message, exactly like the
+	// pre-Payload `any` plumbing.
+	KindBoxed PayloadKind = iota
+	// KindModelAge is the gossip learning walker message: Word holds the
+	// model age (gossiplearning.ModelMessage.Age).
+	KindModelAge
+	// KindUpdateSeq is the push gossip message: Word holds the update
+	// sequence number as a two's-complement int64
+	// (pushgossip.Update.Seq, which may be -1 for "no update yet").
+	KindUpdateSeq
+	// KindWeight is the chaotic power iteration message: Word holds the
+	// IEEE-754 bits of the weight (poweriter.WeightMessage.X).
+	KindWeight
+)
+
+// Payload is the message currency of the framework: what an Application
+// creates, a Sender transports and an Application consumes. It is a plain
+// value — for the word-encoded kinds it is pointer-free, so storing it in
+// the simulator's event queue or passing it through a Sender allocates
+// nothing. The invariant is that Box is non-nil exactly when Kind is
+// KindBoxed.
+type Payload struct {
+	// Kind selects the representation.
+	Kind PayloadKind
+	// Word is the payload for the word-encoded kinds; unused for KindBoxed.
+	Word uint64
+	// Box is the payload value for KindBoxed; nil for the word kinds.
+	Box any
+}
+
+// BoxPayload wraps an arbitrary value in a Payload. This is the generic path
+// for custom applications whose messages do not fit in a word.
+func BoxPayload(v any) Payload { return Payload{Kind: KindBoxed, Box: v} }
+
+// WordPayload builds a word-encoded payload of the given kind.
+func WordPayload(kind PayloadKind, word uint64) Payload {
+	return Payload{Kind: kind, Word: word}
+}
+
+// Value returns the payload as a plain value: the boxed value for KindBoxed,
+// or the decoded message for a word kind whose decoder has been registered
+// (the built-in applications register theirs in init). It allocates for word
+// kinds and is meant for boundaries that need an `any` — wire transports,
+// logging — not for the simulation hot path, where consumers switch on Kind
+// and read Word directly. It returns nil for a word kind with no registered
+// decoder.
+func (p Payload) Value() any {
+	if p.Kind == KindBoxed {
+		return p.Box
+	}
+	decoderMu.RLock()
+	dec := wordDecoders[p.Kind]
+	decoderMu.RUnlock()
+	if dec == nil {
+		return nil
+	}
+	return dec(p.Word)
+}
+
+var (
+	decoderMu    sync.RWMutex
+	wordDecoders = map[PayloadKind]func(word uint64) any{}
+)
+
+// RegisterPayloadDecoder installs the decoder turning a word of the given
+// kind back into its concrete message value (see Payload.Value). The
+// applications owning a kind register their decoder in init; registering the
+// same kind twice replaces the decoder.
+func RegisterPayloadDecoder(kind PayloadKind, dec func(word uint64) any) {
+	if kind == KindBoxed || dec == nil {
+		panic("protocol: RegisterPayloadDecoder needs a word kind and a non-nil decoder")
+	}
+	decoderMu.Lock()
+	wordDecoders[kind] = dec
+	decoderMu.Unlock()
+}

@@ -1,0 +1,64 @@
+package protocol
+
+import "testing"
+
+func TestBoxPayloadRoundTrip(t *testing.T) {
+	type custom struct{ A, B int }
+	p := BoxPayload(custom{1, 2})
+	if p.Kind != KindBoxed {
+		t.Fatalf("Kind = %v, want KindBoxed", p.Kind)
+	}
+	if got, ok := p.Box.(custom); !ok || got != (custom{1, 2}) {
+		t.Fatalf("Box = %#v", p.Box)
+	}
+	if v, ok := p.Value().(custom); !ok || v != (custom{1, 2}) {
+		t.Fatalf("Value() = %#v", p.Value())
+	}
+}
+
+func TestWordPayload(t *testing.T) {
+	p := WordPayload(KindUpdateSeq, 42)
+	if p.Kind != KindUpdateSeq || p.Word != 42 || p.Box != nil {
+		t.Fatalf("WordPayload = %+v", p)
+	}
+}
+
+func TestValueUsesRegisteredDecoder(t *testing.T) {
+	const kind = PayloadKind(1000) // private to this test
+	RegisterPayloadDecoder(kind, func(word uint64) any { return int(word) * 2 })
+	if v := WordPayload(kind, 21).Value(); v != 42 {
+		t.Errorf("decoded Value() = %v, want 42", v)
+	}
+	if v := WordPayload(PayloadKind(1001), 1).Value(); v != nil {
+		t.Errorf("Value() without decoder = %v, want nil", v)
+	}
+}
+
+func TestRegisterPayloadDecoderValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"boxed kind": func() { RegisterPayloadDecoder(KindBoxed, func(uint64) any { return nil }) },
+		"nil dec":    func() { RegisterPayloadDecoder(KindWeight, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestWordPayloadIsAllocationFree pins the point of the word encoding:
+// creating and inspecting a word payload never touches the heap.
+func TestWordPayloadIsAllocationFree(t *testing.T) {
+	sum := uint64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		p := WordPayload(KindUpdateSeq, 7)
+		sum += p.Word
+	})
+	if allocs != 0 {
+		t.Errorf("WordPayload allocates %.1f, want 0", allocs)
+	}
+}

@@ -33,16 +33,18 @@ type Rand interface {
 
 // Application is the application-specific part of the framework (§3.2). The
 // three demonstrator applications of the paper — gossip learning, push gossip
-// and chaotic power iteration — implement it in internal/apps.
+// and chaotic power iteration — implement it in apps/ with word-encoded
+// payloads; custom applications may simply wrap their message values with
+// BoxPayload and type-assert Payload.Box on receipt.
 type Application interface {
 	// CreateMessage builds the payload of an outgoing message from the
 	// current local state (a copy of the state in all paper applications).
-	CreateMessage() any
+	CreateMessage() Payload
 
 	// UpdateState incorporates an incoming payload into the local state and
 	// reports whether the message was useful, as defined by the application
 	// (fresher model, newer update, changed value, ...).
-	UpdateState(from NodeID, payload any) (useful bool)
+	UpdateState(from NodeID, payload Payload) (useful bool)
 }
 
 // PeerSelector is the peer sampling service (SELECTPEER in the paper). The ok
@@ -55,7 +57,7 @@ type PeerSelector interface {
 // message (offline peer, failure injection); the protocol does not expect
 // acknowledgements.
 type Sender interface {
-	Send(from, to NodeID, payload any)
+	Send(from, to NodeID, payload Payload)
 }
 
 // Stats counts the externally observable activity of a node. Counters only
@@ -184,7 +186,7 @@ func (n *Node) Tick() {
 // updates its state, the reactive function determines the (randomly rounded)
 // number of response messages, tokens are spent accordingly and the messages
 // are sent to independently sampled peers.
-func (n *Node) Receive(from NodeID, payload any) {
+func (n *Node) Receive(from NodeID, payload Payload) {
 	n.stats.Received++
 	useful := n.app.UpdateState(from, payload)
 	if useful {

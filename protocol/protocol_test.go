@@ -14,10 +14,10 @@ type collectingSender struct {
 
 type sentMsg struct {
 	from, to NodeID
-	payload  any
+	payload  Payload
 }
 
-func (c *collectingSender) Send(from, to NodeID, payload any) {
+func (c *collectingSender) Send(from, to NodeID, payload Payload) {
 	c.msgs = append(c.msgs, sentMsg{from, to, payload})
 }
 
@@ -38,12 +38,12 @@ type countingApp struct {
 	lastValue any
 }
 
-func (a *countingApp) CreateMessage() any { a.created++; return a.created }
+func (a *countingApp) CreateMessage() Payload { a.created++; return BoxPayload(a.created) }
 
-func (a *countingApp) UpdateState(from NodeID, payload any) bool {
+func (a *countingApp) UpdateState(from NodeID, payload Payload) bool {
 	a.updated++
 	a.lastFrom = from
-	a.lastValue = payload
+	a.lastValue = payload.Box
 	return a.useful
 }
 
@@ -138,7 +138,7 @@ func TestSimpleNodeReactsWhileTokensLast(t *testing.T) {
 		n.Tick() // bank three tokens
 	}
 	for i := 0; i < 5; i++ {
-		n.Receive(9, "payload")
+		n.Receive(9, BoxPayload("payload"))
 	}
 	// Three reactive sends (one per banked token), then the account is empty.
 	if got := n.Stats().ReactiveSent; got != 3 {
@@ -161,7 +161,7 @@ func TestGeneralizedNodeBurnsProportionally(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		n.Tick() // bank 6 tokens (capacity 10)
 	}
-	n.Receive(3, nil)
+	n.Receive(3, Payload{})
 	// A = 1 spends the full balance on a useful message.
 	if got := n.Stats().ReactiveSent; got != 6 {
 		t.Errorf("ReactiveSent = %d, want 6", got)
@@ -179,7 +179,7 @@ func TestUselessMessagesSpendNothingWhenScarce(t *testing.T) {
 		n.Tick()
 	}
 	before := n.Tokens()
-	n.Receive(3, nil)
+	n.Receive(3, Payload{})
 	if n.Tokens() != before {
 		t.Errorf("balance changed from %d to %d on useless message", before, n.Tokens())
 	}
@@ -213,7 +213,7 @@ func TestReactiveRefundWhenPeersVanish(t *testing.T) {
 		n.Tick()
 	}
 	peers.ok = false
-	n.Receive(4, nil)
+	n.Receive(4, Payload{})
 	if n.Tokens() != 5 {
 		t.Errorf("balance = %d, want 5 (refunded)", n.Tokens())
 	}
@@ -236,7 +236,7 @@ func TestPureReactiveNodeFloods(t *testing.T) {
 	if n.Stats().ProactiveSent != 0 {
 		t.Errorf("ProactiveSent = %d, want 0", n.Stats().ProactiveSent)
 	}
-	n.Receive(5, nil)
+	n.Receive(5, Payload{})
 	if n.Stats().ReactiveSent != 2 {
 		t.Errorf("ReactiveSent = %d, want 2", n.Stats().ReactiveSent)
 	}
@@ -299,7 +299,7 @@ func TestRateLimitInvariantUnderRandomTraffic(t *testing.T) {
 		t.Run(s.Name(), func(t *testing.T) {
 			env := core.NewEnvelope(delta, s.Capacity())
 			now := 0.0
-			recorder := senderFunc(func(from, to NodeID, payload any) { env.Record(now) })
+			recorder := senderFunc(func(from, to NodeID, payload Payload) { env.Record(now) })
 			source := rng.New(987)
 			app := &countingApp{useful: true}
 			n, err := NewNode(Config{
@@ -315,7 +315,7 @@ func TestRateLimitInvariantUnderRandomTraffic(t *testing.T) {
 				app.useful = source.Float64() < 0.7
 				for k := source.Intn(5); k > 0; k-- {
 					now = float64(round)*delta + source.Float64()*delta
-					n.Receive(3, nil)
+					n.Receive(3, Payload{})
 				}
 				if n.Tokens() > s.Capacity() {
 					t.Fatalf("balance %d exceeds capacity %d", n.Tokens(), s.Capacity())
@@ -332,6 +332,6 @@ func TestRateLimitInvariantUnderRandomTraffic(t *testing.T) {
 }
 
 // senderFunc adapts a function to the Sender interface.
-type senderFunc func(from, to NodeID, payload any)
+type senderFunc func(from, to NodeID, payload Payload)
 
-func (f senderFunc) Send(from, to NodeID, payload any) { f(from, to, payload) }
+func (f senderFunc) Send(from, to NodeID, payload Payload) { f(from, to, payload) }

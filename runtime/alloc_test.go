@@ -1,0 +1,46 @@
+package runtime_test
+
+import (
+	"testing"
+
+	"github.com/szte-dcs/tokenaccount/runtime"
+)
+
+// TestRandomOnlineNeighborAllocs guards the reactive hot path: after the
+// first call has grown the Host's scratch buffer, sampling an online
+// neighbour must not allocate.
+func TestRandomOnlineNeighborAllocs(t *testing.T) {
+	host, err := runtime.NewHost(newSimEnv(t, 20, 1), hostConfig(t, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	host.SetOffline(3) // exercise the liveness filter, not just the append
+	node := 0
+	host.RandomOnlineNeighbor(node) // warm up the scratch buffer
+	allocs := testing.AllocsPerRun(500, func() {
+		node = (node + 1) % host.N()
+		if _, ok := host.RandomOnlineNeighbor(node); !ok {
+			t.Fatal("no online neighbour in a mostly-online network")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("RandomOnlineNeighbor allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// TestRandomOnlineNodeAllocs covers the sibling sampler used by the push
+// gossip injection loop.
+func TestRandomOnlineNodeAllocs(t *testing.T) {
+	host, err := runtime.NewHost(newSimEnv(t, 20, 2), hostConfig(t, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, ok := host.RandomOnlineNode(); !ok {
+			t.Fatal("no online node")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("RandomOnlineNode allocates %.1f per call, want 0", allocs)
+	}
+}

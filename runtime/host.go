@@ -90,6 +90,12 @@ type Host struct {
 	dropped   int64
 
 	envelopes map[int]*core.Envelope
+
+	// neighborScratch is reused across RandomOnlineNeighbor calls so the
+	// reactive hot path never allocates; like the protocol nodes, the Host
+	// is single-threaded, so one buffer suffices (it mirrors the scratch
+	// buffer of peersample.Overlay).
+	neighborScratch []int32
 }
 
 var _ protocol.Sender = (*Host)(nil)
@@ -273,12 +279,13 @@ func (h *Host) RandomOnlineNode() (int, bool) {
 // given node, or false if none is online.
 func (h *Host) RandomOnlineNeighbor(i int) (int, bool) {
 	nbrs := h.cfg.Graph.OutNeighbors(i)
-	online := make([]int32, 0, len(nbrs))
+	online := h.neighborScratch[:0]
 	for _, v := range nbrs {
 		if h.env.Online(int(v)) {
 			online = append(online, v)
 		}
 	}
+	h.neighborScratch = online
 	if len(online) == 0 {
 		return 0, false
 	}
@@ -288,7 +295,7 @@ func (h *Host) RandomOnlineNeighbor(i int) (int, bool) {
 // Send implements protocol.Sender: after the host-level loss lottery the
 // payload is handed to the environment's transport, which delivers it back
 // through deliver (or drops it in transit).
-func (h *Host) Send(from, to protocol.NodeID, payload any) {
+func (h *Host) Send(from, to protocol.NodeID, payload protocol.Payload) {
 	h.sent++
 	if env, ok := h.envelopes[int(from)]; ok {
 		env.Record(h.env.Now())
@@ -302,7 +309,7 @@ func (h *Host) Send(from, to protocol.NodeID, payload any) {
 
 // deliver is the environment's delivery callback: messages to offline nodes
 // are dropped, everything else reaches the destination's Receive handler.
-func (h *Host) deliver(from, to protocol.NodeID, payload any) {
+func (h *Host) deliver(from, to protocol.NodeID, payload protocol.Payload) {
 	if !h.env.Online(int(to)) {
 		h.dropped++
 		return

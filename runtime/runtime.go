@@ -24,7 +24,7 @@ import "github.com/szte-dcs/tokenaccount/protocol"
 
 // DeliverFunc consumes a message that has traversed the environment's
 // transport and is ready for delivery to the destination node.
-type DeliverFunc func(from, to protocol.NodeID, payload any)
+type DeliverFunc func(from, to protocol.NodeID, payload protocol.Payload)
 
 // Env is the substrate one run of the protocol executes on. Times are
 // float64 seconds since the start of the run: virtual seconds in the
@@ -61,8 +61,10 @@ type Env interface {
 	// Send hands a payload to the environment's transport for delivery from
 	// one node to another. The transport applies the environment's latency
 	// and loss model and eventually invokes the DeliverFunc installed with
-	// SetDeliver (or drops the message).
-	Send(from, to protocol.NodeID, payload any)
+	// SetDeliver (or drops the message). Word-encoded payloads must traverse
+	// the transport without boxing where the implementation permits (the
+	// discrete-event environment stores them inline in its event queue).
+	Send(from, to protocol.NodeID, payload protocol.Payload)
 
 	// SetDeliver installs the delivery callback. The Host installs itself
 	// here during assembly; environments must not deliver before it is set.

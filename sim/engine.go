@@ -16,13 +16,48 @@ import (
 	"math"
 )
 
-// Event is a scheduled callback. The callback receives no arguments; closures
-// capture whatever context they need. Keeping events as bare funcs keeps the
-// scheduler generic and allocation-light.
+// event is one scheduled entry of the queue. Two representations share the
+// (time, seq) ordering key: a closure event (fn non-nil) runs an arbitrary
+// callback, while a typed delivery event (fn nil) carries a Delivery struct
+// inline and hands it to its sink. The typed form exists so that the
+// dominant event class of the simulator — message deliveries — never
+// materializes a closure: scheduling a delivery copies a pointer-free struct
+// into the queue's slab instead of allocating a capture on the heap.
 type event struct {
 	time float64
 	seq  uint64
-	fn   func()
+	fn   func()       // closure event; nil for deliveries
+	sink DeliverySink // delivery event; nil for closures
+	d    Delivery
+}
+
+// less orders events by (time, seq); seq is unique, so the order is total.
+func (e *event) less(o *event) bool {
+	if e.time != o.time {
+		return e.time < o.time
+	}
+	return e.seq < o.seq
+}
+
+// Delivery is a typed message-delivery event: a payload travelling from one
+// node to another. From and To are dense node indices; Kind/Word/Box mirror
+// the compact payload representation of the protocol layer (a discriminator,
+// a word-encoded payload, and a boxed fallback for payloads that do not fit
+// in a word), but the engine never interprets them — it only moves the
+// struct from ScheduleDelivery to the sink. For word-encoded payloads the
+// struct is pointer-free, so a delivery costs zero heap allocations
+// end to end.
+type Delivery struct {
+	From, To int32
+	Kind     uint32
+	Word     uint64
+	Box      any
+}
+
+// DeliverySink consumes delivery events when they come due. The engine calls
+// Deliver with virtual time already advanced to the event's time.
+type DeliverySink interface {
+	Deliver(d Delivery)
 }
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
@@ -92,6 +127,24 @@ func (e *Engine) At(t float64, fn func()) {
 	e.queue().Push(event{time: t, seq: e.seq, fn: fn})
 }
 
+// ScheduleDelivery schedules a typed delivery event after the given delay of
+// virtual time: when the event comes due, sink.Deliver(d) runs with virtual
+// time advanced to the delivery time. It is the allocation-free counterpart
+// of Schedule for message traffic — the delivery is stored inline in the
+// event queue, so no closure is created. A non-positive or NaN delay is
+// treated as zero. It panics on a nil sink.
+func (e *Engine) ScheduleDelivery(delay float64, d Delivery, sink DeliverySink) {
+	if sink == nil {
+		panic("sim: ScheduleDelivery with nil sink")
+	}
+	t := e.now
+	if delay > 0 && !math.IsNaN(delay) {
+		t += delay
+	}
+	e.seq++
+	e.queue().Push(event{time: t, seq: e.seq, sink: sink, d: d})
+}
+
 // Every schedules fn to run now+phase, now+phase+interval, ... until the
 // engine stops or the callback returns false. It panics if interval is not
 // positive or the callback is nil.
@@ -118,11 +171,22 @@ func (e *Engine) Step() bool {
 	if q.Len() == 0 || e.stopped {
 		return false
 	}
+	e.step(q)
+	return true
+}
+
+// step pops and executes the earliest event of q. The queue is passed in so
+// the Run/RunUntil hot loops resolve the engine's queue field once instead of
+// re-running the lazy-init nil check per event.
+func (e *Engine) step(q queue) {
 	ev := q.Pop()
 	e.now = ev.time
 	e.processed++
-	ev.fn()
-	return true
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.sink.Deliver(ev.d)
+	}
 }
 
 // RunUntil executes events in time order until the queue is exhausted, Stop
@@ -135,7 +199,7 @@ func (e *Engine) RunUntil(horizon float64) {
 		if q.Peek().time > horizon {
 			break
 		}
-		e.Step()
+		e.step(q)
 	}
 	if !e.stopped && horizon > e.now {
 		e.now = horizon
@@ -144,7 +208,9 @@ func (e *Engine) RunUntil(horizon float64) {
 
 // Run executes events until the queue is empty or Stop is called.
 func (e *Engine) Run() {
-	for e.Step() {
+	q := e.queue()
+	for q.Len() > 0 && !e.stopped {
+		e.step(q)
 	}
 }
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -206,5 +207,94 @@ func TestZeroValueEngine(t *testing.T) {
 	e.Run()
 	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
 		t.Fatalf("events ran as %v", got)
+	}
+}
+
+// recordingSink collects delivered events together with the engine time at
+// delivery.
+type recordingSink struct {
+	e   *Engine
+	got []Delivery
+	at  []float64
+}
+
+func (s *recordingSink) Deliver(d Delivery) {
+	s.got = append(s.got, d)
+	s.at = append(s.at, s.e.Now())
+}
+
+// TestScheduleDelivery checks the typed delivery path: the event fires at
+// now+delay with virtual time advanced, the Delivery struct round-trips
+// unchanged, and deliveries interleave with closure events in strict
+// (time, seq) order.
+func TestScheduleDelivery(t *testing.T) {
+	e := NewEngine()
+	sink := &recordingSink{e: e}
+	var order []string
+	e.Schedule(1, func() { order = append(order, "fn@1") })
+	e.ScheduleDelivery(1, Delivery{From: 3, To: 4, Kind: 2, Word: 77, Box: "x"}, sink)
+	e.Schedule(0.5, func() { order = append(order, "fn@0.5") })
+	e.ScheduleDelivery(2, Delivery{From: 5, To: 6, Word: 88}, sink)
+	e.Run()
+	if len(sink.got) != 2 {
+		t.Fatalf("delivered %d events, want 2", len(sink.got))
+	}
+	if d := sink.got[0]; d.From != 3 || d.To != 4 || d.Kind != 2 || d.Word != 77 || d.Box != "x" {
+		t.Errorf("first delivery = %+v", d)
+	}
+	if sink.at[0] != 1 || sink.at[1] != 2 {
+		t.Errorf("delivery times = %v, want [1 2]", sink.at)
+	}
+	// The closure at t=1 was scheduled before the delivery at t=1, so it
+	// runs first (seq tie-break); both run after the t=0.5 closure.
+	if len(order) != 2 || order[0] != "fn@0.5" || order[1] != "fn@1" {
+		t.Errorf("closure order = %v", order)
+	}
+	if e.Processed() != 4 {
+		t.Errorf("processed = %d, want 4", e.Processed())
+	}
+}
+
+// TestScheduleDeliveryNegativeDelay mirrors Schedule's clamping: a negative
+// or NaN delay delivers at the current time.
+func TestScheduleDeliveryNegativeDelay(t *testing.T) {
+	e := NewEngine()
+	sink := &recordingSink{e: e}
+	e.Schedule(5, func() {
+		e.ScheduleDelivery(-1, Delivery{Word: 1}, sink)
+		e.ScheduleDelivery(math.NaN(), Delivery{Word: 2}, sink)
+	})
+	e.Run()
+	if len(sink.at) != 2 || sink.at[0] != 5 || sink.at[1] != 5 {
+		t.Errorf("delivery times = %v, want [5 5]", sink.at)
+	}
+}
+
+// TestScheduleDeliveryNilSinkPanics mirrors the nil-callback panics.
+func TestScheduleDeliveryNilSinkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ScheduleDelivery(nil sink) did not panic")
+		}
+	}()
+	NewEngine().ScheduleDelivery(1, Delivery{}, nil)
+}
+
+// TestScheduleDeliveryAllocs guards the zero-allocation claim at the engine
+// level: scheduling and executing a word-encoded delivery allocates nothing
+// once the slab has grown.
+func TestScheduleDeliveryAllocs(t *testing.T) {
+	e := NewEngine()
+	sink := &recordingSink{e: e}
+	e.ScheduleDelivery(1, Delivery{Word: 1}, sink)
+	e.Run()
+	sink.got, sink.at = sink.got[:0], sink.at[:0]
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.ScheduleDelivery(1, Delivery{From: 1, To: 2, Kind: 3, Word: 4}, sink)
+		e.Step()
+		sink.got, sink.at = sink.got[:0], sink.at[:0]
+	})
+	if allocs != 0 {
+		t.Errorf("ScheduleDelivery+Step allocates %.1f, want 0", allocs)
 	}
 }

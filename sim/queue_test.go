@@ -6,54 +6,109 @@ import (
 	"github.com/szte-dcs/tokenaccount/internal/rng"
 )
 
-// TestQueueKindsAgree drives both queue implementations with an identical
-// randomized workload of interleaved pushes and pops and requires them to
-// produce the exact same event order, which is what makes the queue choice
-// invisible to simulation results.
+// allQueueKinds lists every queue implementation; tests iterate it so a new
+// kind is automatically covered by the equivalence suite.
+var allQueueKinds = []QueueKind{QueueSlab, QueueHeap, QueueCalendar}
+
+// TestQueueKindsAgree drives every queue implementation with an identical
+// randomized workload of interleaved pushes and pops — closure events and
+// typed delivery events alike — and requires them to produce the exact same
+// event order, which is what makes the queue choice invisible to simulation
+// results. The workload mixes continuous and heavily duplicated times (seq
+// tie-breaks), bursts, and long idle jumps (the calendar queue's overflow
+// path).
 func TestQueueKindsAgree(t *testing.T) {
-	slab, ref := newQueue(QueueSlab), newQueue(QueueHeap)
+	queues := make([]queue, len(allQueueKinds))
+	for i, kind := range allQueueKinds {
+		queues[i] = newQueue(kind)
+	}
+	ref := queues[1] // QueueHeap is the reference
 	src := rng.New(42)
 	var seq uint64
-	for op := 0; op < 20000; op++ {
-		if slab.Len() != ref.Len() {
-			t.Fatalf("op %d: lengths diverged: slab %d, ref %d", op, slab.Len(), ref.Len())
-		}
-		if slab.Len() == 0 || src.Float64() < 0.55 {
-			seq++
-			ev := event{time: src.Float64() * 100, seq: seq, fn: func() {}}
-			// Duplicate times exercise the seq tie-break.
-			if src.Float64() < 0.2 {
-				ev.time = float64(src.Intn(10))
+	base := 0.0
+	for op := 0; op < 30000; op++ {
+		for i, q := range queues {
+			if q.Len() != ref.Len() {
+				t.Fatalf("op %d: lengths diverged: %s %d, ref %d", op, allQueueKinds[i], q.Len(), ref.Len())
 			}
-			slab.Push(ev)
-			ref.Push(ev)
+		}
+		if ref.Len() == 0 || src.Float64() < 0.55 {
+			seq++
+			ev := event{time: base + src.Float64()*100, seq: seq, fn: func() {}}
+			switch {
+			case src.Float64() < 0.2:
+				// Duplicate times exercise the seq tie-break.
+				ev.time = base + float64(src.Intn(10))
+			case src.Float64() < 0.1:
+				// Occasional far-future event: lands beyond the calendar's
+				// current year and must surface in order regardless.
+				ev.time = base + 1e4 + src.Float64()*1e4
+			}
+			if src.Float64() < 0.5 {
+				// Typed delivery events share the ordering key with closures.
+				ev.fn = nil
+				ev.sink = discardSink{}
+				ev.d = Delivery{From: int32(seq % 7), To: int32(seq % 11), Word: seq}
+			}
+			for _, q := range queues {
+				q.Push(ev)
+			}
 			continue
 		}
+		if src.Float64() < 0.05 {
+			// Idle jump: advance the time base so new pushes leave the old
+			// calendar year behind.
+			base += 500
+		}
 		if src.Float64() < 0.3 {
-			a, b := slab.Peek(), ref.Peek()
-			if a.time != b.time || a.seq != b.seq {
-				t.Fatalf("op %d: Peek diverged: slab (%v, %d), ref (%v, %d)", op, a.time, a.seq, b.time, b.seq)
+			want := ref.Peek()
+			for i, q := range queues {
+				if got := q.Peek(); got.time != want.time || got.seq != want.seq {
+					t.Fatalf("op %d: Peek diverged: %s (%v, %d), ref (%v, %d)",
+						op, allQueueKinds[i], got.time, got.seq, want.time, want.seq)
+				}
+			}
+			continue
+		}
+		want := ref.Pop()
+		for i, q := range queues {
+			if i == 1 {
+				continue
+			}
+			got := q.Pop()
+			if got.time != want.time || got.seq != want.seq {
+				t.Fatalf("op %d: Pop diverged: %s (%v, %d), ref (%v, %d)",
+					op, allQueueKinds[i], got.time, got.seq, want.time, want.seq)
 			}
 		}
-		a, b := slab.Pop(), ref.Pop()
-		if a.time != b.time || a.seq != b.seq {
-			t.Fatalf("op %d: Pop diverged: slab (%v, %d), ref (%v, %d)", op, a.time, a.seq, b.time, b.seq)
+	}
+	for ref.Len() > 0 {
+		want := ref.Pop()
+		for i, q := range queues {
+			if i == 1 {
+				continue
+			}
+			got := q.Pop()
+			if got.time != want.time || got.seq != want.seq {
+				t.Fatalf("drain: Pop diverged: %s (%v, %d), ref (%v, %d)",
+					allQueueKinds[i], got.time, got.seq, want.time, want.seq)
+			}
 		}
 	}
-	for slab.Len() > 0 {
-		a, b := slab.Pop(), ref.Pop()
-		if a.time != b.time || a.seq != b.seq {
-			t.Fatalf("drain: Pop diverged: slab (%v, %d), ref (%v, %d)", a.time, a.seq, b.time, b.seq)
+	for i, q := range queues {
+		if q.Len() != 0 {
+			t.Fatalf("%s queue still holds %d events", allQueueKinds[i], q.Len())
 		}
-	}
-	if ref.Len() != 0 {
-		t.Fatalf("reference queue still holds %d events", ref.Len())
 	}
 }
 
+type discardSink struct{}
+
+func (discardSink) Deliver(Delivery) {}
+
 // TestQueuePopsSortedOrder checks the (time, seq) total order directly.
 func TestQueuePopsSortedOrder(t *testing.T) {
-	for _, kind := range []QueueKind{QueueSlab, QueueHeap} {
+	for _, kind := range allQueueKinds {
 		t.Run(kind.String(), func(t *testing.T) {
 			q := newQueue(kind)
 			src := rng.New(7)
@@ -73,13 +128,16 @@ func TestQueuePopsSortedOrder(t *testing.T) {
 }
 
 // TestEnginesAgreeAcrossQueues runs the same self-scheduling workload on
-// engines with different queues and compares the executed event traces.
+// engines with different queues and compares the executed event traces. The
+// workload interleaves closure events with typed deliveries so both event
+// representations participate in the ordering.
 func TestEnginesAgreeAcrossQueues(t *testing.T) {
 	trace := func(kind QueueKind) []int {
 		e := NewEngineWithQueue(kind)
 		src := rng.New(3)
 		var got []int
 		id := 0
+		sink := &traceSink{}
 		var spawn func()
 		spawn = func() {
 			me := id
@@ -90,24 +148,41 @@ func TestEnginesAgreeAcrossQueues(t *testing.T) {
 				if src.Float64() < 0.4 {
 					e.Schedule(src.Float64()*5, spawn)
 				}
+				if src.Float64() < 0.5 {
+					e.ScheduleDelivery(src.Float64()*8, Delivery{Word: uint64(me)}, sink)
+				}
 			}
 		}
+		sink.got = &got
 		for i := 0; i < 10; i++ {
 			e.Schedule(src.Float64(), spawn)
 		}
 		e.RunUntil(1e6)
 		return got
 	}
-	slab, ref := trace(QueueSlab), trace(QueueHeap)
-	if len(slab) != len(ref) {
-		t.Fatalf("trace lengths differ: slab %d, ref %d", len(slab), len(ref))
-	}
-	for i := range slab {
-		if slab[i] != ref[i] {
-			t.Fatalf("traces diverge at event %d: slab %d, ref %d", i, slab[i], ref[i])
-		}
+	ref := trace(QueueHeap)
+	for _, kind := range []QueueKind{QueueSlab, QueueCalendar} {
+		t.Run(kind.String(), func(t *testing.T) {
+			got := trace(kind)
+			if len(got) != len(ref) {
+				t.Fatalf("trace lengths differ: %s %d, ref %d", kind, len(got), len(ref))
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("traces diverge at event %d: %s %d, ref %d", i, kind, got[i], ref[i])
+				}
+			}
+		})
 	}
 }
+
+// traceSink records delivered words as negative entries in the shared trace,
+// distinguishing deliveries from closure executions.
+type traceSink struct {
+	got *[]int
+}
+
+func (s *traceSink) Deliver(d Delivery) { *s.got = append(*s.got, -1-int(d.Word)) }
 
 // TestSlabQueueRecyclesSlots checks that the slab's high-water mark tracks
 // pending events rather than total throughput: pushing and popping many more
@@ -125,5 +200,55 @@ func TestSlabQueueRecyclesSlots(t *testing.T) {
 	}
 	if len(q.slab) != 100 {
 		t.Fatalf("slab grew to %d slots for 100 pending events", len(q.slab))
+	}
+}
+
+// TestCalendarQueueSteadyStateAllocs checks the calendar queue's hot path:
+// once the structure has grown to the workload's high-water mark, a
+// push/pop cycle allocates nothing.
+func TestCalendarQueueSteadyStateAllocs(t *testing.T) {
+	q := &calendarQueue{}
+	src := rng.New(11)
+	seq := uint64(0)
+	for i := 0; i < 4096; i++ {
+		seq++
+		q.Push(event{time: src.Float64() * 100, seq: seq, fn: nil, sink: discardSink{}})
+	}
+	// Warm up: cycle enough events for resizes and bucket growth to settle.
+	for i := 0; i < 20000; i++ {
+		ev := q.Pop()
+		seq++
+		ev.seq = seq
+		ev.time += src.Float64() * 100
+		q.Push(ev)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		ev := q.Pop()
+		seq++
+		ev.seq = seq
+		ev.time += src.Float64() * 100
+		q.Push(ev)
+	})
+	if allocs != 0 {
+		t.Errorf("calendar queue steady state allocates %.1f per push/pop cycle, want 0", allocs)
+	}
+}
+
+// TestParseQueueKind checks the flag-facing name resolution.
+func TestParseQueueKind(t *testing.T) {
+	for name, want := range map[string]QueueKind{
+		"":         QueueSlab,
+		"slab":     QueueSlab,
+		"heap":     QueueHeap,
+		" Heap ":   QueueHeap,
+		"calendar": QueueCalendar,
+	} {
+		got, err := ParseQueueKind(name)
+		if err != nil || got != want {
+			t.Errorf("ParseQueueKind(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseQueueKind("bogus"); err == nil {
+		t.Error("ParseQueueKind(bogus) succeeded")
 	}
 }

@@ -41,7 +41,10 @@ type Env struct {
 	deliver       runtime.DeliverFunc
 }
 
-var _ runtime.Env = (*Env)(nil)
+var (
+	_ runtime.Env      = (*Env)(nil)
+	_ sim.DeliverySink = (*Env)(nil)
+)
 
 // NewEnv builds a discrete-event environment with every node online.
 func NewEnv(cfg EnvConfig) (*Env, error) {
@@ -84,13 +87,37 @@ func (e *Env) Every(phase, interval float64, fn func() bool) { e.engine.Every(ph
 func (e *Env) Rand(stream uint64) protocol.Rand { return rng.New(rng.Derive(e.seed, stream)) }
 
 // Send implements runtime.Env: the payload is delivered after the transfer
-// delay of virtual time.
-func (e *Env) Send(from, to protocol.NodeID, payload any) {
-	e.engine.Schedule(e.transferDelay, func() { e.deliver(from, to, payload) })
+// delay of virtual time. The message travels as a typed delivery event
+// stored inline in the engine's queue — no closure is materialized and a
+// word-encoded payload is never boxed, so the steady-state message path
+// allocates nothing.
+func (e *Env) Send(from, to protocol.NodeID, payload protocol.Payload) {
+	e.engine.ScheduleDelivery(e.transferDelay, sim.Delivery{
+		From: int32(from),
+		To:   int32(to),
+		Kind: uint32(payload.Kind),
+		Word: payload.Word,
+		Box:  payload.Box,
+	}, e)
+}
+
+// Deliver implements sim.DeliverySink: a due delivery event re-enters the
+// host through the delivery callback stored by SetDeliver. The environment
+// itself is the sink for every delivery it schedules, so no per-message
+// state is captured anywhere.
+func (e *Env) Deliver(d sim.Delivery) {
+	e.deliver(protocol.NodeID(d.From), protocol.NodeID(d.To), protocol.Payload{
+		Kind: protocol.PayloadKind(d.Kind),
+		Word: d.Word,
+		Box:  d.Box,
+	})
 }
 
 // SetDeliver implements runtime.Env.
 func (e *Env) SetDeliver(fn runtime.DeliverFunc) { e.deliver = fn }
+
+// Processed returns the number of events the underlying engine has executed.
+func (e *Env) Processed() uint64 { return e.engine.Processed() }
 
 // N implements runtime.Env.
 func (e *Env) N() int { return len(e.online) }

@@ -107,7 +107,7 @@ func TestProactiveComponentSurvivesMessageLoss(t *testing.T) {
 	reactiveNet := build(core.MustPureReactive(1, false), 7)
 	for i := 0; i < 5; i++ {
 		reactiveNet.App(i).(*pushgossip.State).Inject(int64(i + 1))
-		reactiveNet.Send(protocol.NodeID(i), protocol.NodeID((i+1)%n), pushgossip.Update{Seq: int64(i + 1)})
+		reactiveNet.Send(protocol.NodeID(i), protocol.NodeID((i+1)%n), pushgossip.Update{Seq: int64(i + 1)}.Payload())
 	}
 	reactiveNet.Run(rounds * 100)
 	reactiveSent := reactiveNet.MessagesSent()

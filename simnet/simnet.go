@@ -59,6 +59,10 @@ type Config struct {
 	// this knob exercises the fault-tolerance role of the proactive
 	// component: lost messages are eventually replaced by proactive ones.
 	DropProbability float64
+	// Queue selects the event queue implementation backing the engine; the
+	// zero value is the default allocation-free slab heap. Every kind yields
+	// identical event orderings (see sim.QueueKind).
+	Queue sim.QueueKind
 }
 
 // validate checks only the fields the environment consumes before the Host
@@ -93,7 +97,7 @@ func New(cfg Config) (*Network, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	env, err := NewEnv(EnvConfig{N: cfg.Graph.N(), Seed: cfg.Seed, TransferDelay: cfg.TransferDelay})
+	env, err := NewEnv(EnvConfig{N: cfg.Graph.N(), Seed: cfg.Seed, TransferDelay: cfg.TransferDelay, Queue: cfg.Queue})
 	if err != nil {
 		return nil, err
 	}
@@ -163,7 +167,9 @@ func (net *Network) RandomOnlineNeighbor(i int) (int, bool) { return net.host.Ra
 // Send implements protocol.Sender: the payload is delivered to the target
 // after the configured transfer delay, or dropped if the target is offline at
 // delivery time.
-func (net *Network) Send(from, to protocol.NodeID, payload any) { net.host.Send(from, to, payload) }
+func (net *Network) Send(from, to protocol.NodeID, payload protocol.Payload) {
+	net.host.Send(from, to, payload)
+}
 
 // MessagesSent returns the total number of messages handed to the network.
 func (net *Network) MessagesSent() int64 { return net.host.MessagesSent() }

@@ -9,6 +9,7 @@ import (
 	"github.com/szte-dcs/tokenaccount/core"
 	"github.com/szte-dcs/tokenaccount/overlay"
 	"github.com/szte-dcs/tokenaccount/protocol"
+	"github.com/szte-dcs/tokenaccount/sim"
 	"github.com/szte-dcs/tokenaccount/trace"
 )
 
@@ -208,7 +209,7 @@ func TestChurnDropsMessagesAndTracksOnline(t *testing.T) {
 	// Put a message in flight to node 1 just before it goes offline at t=500:
 	// it must be dropped at delivery time.
 	net.Engine().At(499.5, func() {
-		net.Send(0, 1, pushgossip.Update{Seq: 999})
+		net.Send(0, 1, pushgossip.Update{Seq: 999}.Payload())
 	})
 	net.Run(1000)
 	if net.OnlineCount() != n/2 {
@@ -307,5 +308,33 @@ func TestAverageTokensApproachesPrediction(t *testing.T) {
 	predicted := float64(a) * float64(c) / float64(c+1)
 	if math.Abs(got-predicted) > 2.5 {
 		t.Errorf("average tokens = %v, mean-field prediction %v", got, predicted)
+	}
+}
+
+// TestSteadyStateMessagePathAllocs is the end-to-end allocation guard for
+// the tentpole optimization: once a network has warmed up (event slab,
+// scratch buffers and token balances at their high-water marks), advancing
+// the simulation — proactive ticks, typed deliveries, Receive handlers and
+// reactive sends included — must not allocate at all, for both
+// allocation-free queue kinds.
+func TestSteadyStateMessagePathAllocs(t *testing.T) {
+	for _, kind := range []sim.QueueKind{sim.QueueSlab, sim.QueueCalendar} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := walkerConfig(t, 200, core.MustRandomized(5, 10), 4)
+			cfg.Queue = kind
+			net, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			horizon := 50 * cfg.Delta
+			net.Run(horizon) // warm up to the steady state
+			allocs := testing.AllocsPerRun(30, func() {
+				horizon += cfg.Delta
+				net.Run(horizon)
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state round allocates %.1f with the %s queue, want 0", allocs, kind)
+			}
+		})
 	}
 }
