@@ -29,6 +29,7 @@ import (
 
 	"github.com/szte-dcs/tokenaccount/core"
 	"github.com/szte-dcs/tokenaccount/experiment"
+	"github.com/szte-dcs/tokenaccount/netmodel"
 	"github.com/szte-dcs/tokenaccount/overlay"
 	"github.com/szte-dcs/tokenaccount/protocol"
 	"github.com/szte-dcs/tokenaccount/sim"
@@ -257,7 +258,22 @@ func specs() []spec {
 		out = append(out, spec{
 			name:    "SimulatorThroughput/" + kind.String(),
 			guarded: true,
-			bench:   func(short bool) func(*testing.B) { return throughputBench(kind, short) },
+			bench:   func(short bool) func(*testing.B) { return throughputBench(kind, nil, short) },
+		})
+	}
+	// The same steady-state workload under an exponential latency model:
+	// inter-delivery gaps lose the near-constant structure of the paper's
+	// setup, which is precisely the regime the calendar queue's Brown width
+	// estimation has to cope with. Guarded, because the model path must stay
+	// allocation-free too.
+	for _, kind := range []sim.QueueKind{sim.QueueSlab, sim.QueueCalendar} {
+		kind := kind
+		out = append(out, spec{
+			name:    "SimulatorThroughputExpNet/" + kind.String(),
+			guarded: true,
+			bench: func(short bool) func(*testing.B) {
+				return throughputBench(kind, netmodel.Exponential{Mean: 1.728}, short)
+			},
 		})
 	}
 	for _, kind := range []sim.QueueKind{sim.QueueSlab, sim.QueueHeap, sim.QueueCalendar} {
@@ -295,8 +311,10 @@ func figureOptions(name string, short bool) experiment.Options {
 // throughputBench measures the steady-state message path exactly like
 // BenchmarkSimulatorThroughput: network assembly and warm-up happen outside
 // the timed region, one op advances virtual time by one proactive period.
-// Its allocs/op is the committed zero-allocation guarantee.
-func throughputBench(kind sim.QueueKind, short bool) func(b *testing.B) {
+// Its allocs/op is the committed zero-allocation guarantee. A non-nil
+// network model replaces the constant transfer delay with per-message
+// sampled latencies, covering the variable-gap event mix.
+func throughputBench(kind sim.QueueKind, network netmodel.Model, short bool) func(b *testing.B) {
 	n, warmup := 1000, 50
 	if short {
 		n, warmup = 300, 50
@@ -315,6 +333,7 @@ func throughputBench(kind sim.QueueKind, short bool) func(b *testing.B) {
 			TransferDelay: 1.728,
 			Seed:          1,
 			Queue:         kind,
+			Network:       network,
 		})
 		if err != nil {
 			b.Fatal(err)

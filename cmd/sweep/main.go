@@ -51,6 +51,7 @@ func run(args []string, w io.Writer) error {
 		kindName     = fs.String("kind", "randomized", "strategy family: "+strings.Join(sweepableKinds(), ", "))
 		scenarioName = fs.String("scenario", "failure-free", "failure scenario: "+strings.Join(experiment.Scenarios(), ", "))
 		runtimeName  = fs.String("runtime", "sim", "execution runtime (live takes :timescale, e.g. live:0.001): "+strings.Join(experiment.Runtimes(), ", "))
+		networkList  = fs.String("network", "constant", "comma-separated network model specs swept as an extra axis (e.g. constant,exponential:1.728,zones:4:0.5:3): "+strings.Join(experiment.Networks(), ", "))
 		n            = fs.Int("n", 500, "number of nodes")
 		rounds       = fs.Int("rounds", 200, "number of proactive periods")
 		reps         = fs.Int("reps", 1, "repetitions per setting")
@@ -72,6 +73,14 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var nets []experiment.NetworkDriver
+	for _, spec := range strings.Split(*networkList, ",") {
+		net, err := experiment.ParseNetwork(spec)
+		if err != nil {
+			return err
+		}
+		nets = append(nets, net)
+	}
 	kind := experiment.StrategyKind(*kindName)
 	grid := experiment.ParameterGrid(kind)
 	if len(grid) == 0 {
@@ -79,41 +88,64 @@ func run(args []string, w io.Writer) error {
 	}
 	// The proactive baseline anchors the comparison. The header only names
 	// the runtime when it is not the default simulator, keeping simulated
-	// sweep output in its historical form.
+	// sweep output in its historical form; likewise the network column only
+	// appears when the sweep leaves the default constant network.
 	specs := append([]experiment.StrategySpec{experiment.Proactive()}, grid...)
 	runtimeNote := ""
 	if !experiment.IsDefaultRuntime(rt) {
 		runtimeNote = ", runtime=" + experiment.DriverLabel(rt)
 	}
+	showNet := len(nets) > 1 || !experiment.IsDefaultNetwork(nets[0])
 	fmt.Fprintf(w, "# %s on %s, %s, N=%d, %d rounds, %d repetition(s)%s\n",
 		kind, experiment.DriverLabel(app), experiment.DriverLabel(scenario), *n, *rounds, *reps, runtimeNote)
-	fmt.Fprintln(w, "strategy\tmsgs_per_node_per_round\tsteady_state_metric\tfinal_metric")
-	// Grid settings are embarrassingly parallel: simulate them on a bounded
-	// worker pool and print the rows in grid order so the output is identical
-	// for any worker count.
-	results, err := experiment.Collect(context.Background(), *workers, len(specs), func(i int) (*experiment.Result, error) {
+	if showNet {
+		fmt.Fprintln(w, "network\tstrategy\tmsgs_per_node_per_round\tsteady_state_metric\tfinal_metric")
+	} else {
+		fmt.Fprintln(w, "strategy\tmsgs_per_node_per_round\tsteady_state_metric\tfinal_metric")
+	}
+	// Grid settings (network × strategy) are embarrassingly parallel:
+	// simulate them on a bounded worker pool and print the rows in grid
+	// order so the output is identical for any worker count.
+	type job struct {
+		net  experiment.NetworkDriver
+		spec experiment.StrategySpec
+	}
+	var jobs []job
+	for _, net := range nets {
+		for _, spec := range specs {
+			jobs = append(jobs, job{net: net, spec: spec})
+		}
+	}
+	results, err := experiment.Collect(context.Background(), *workers, len(jobs), func(i int) (*experiment.Result, error) {
 		res, err := experiment.Run(experiment.Config{
 			App:         app,
-			Strategy:    specs[i],
+			Strategy:    jobs[i].spec,
 			Scenario:    scenario,
 			Runtime:     rt,
+			Network:     jobs[i].net,
 			N:           *n,
 			Rounds:      *rounds,
 			Repetitions: *reps,
 			Seed:        *seed,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", specs[i].Label(), err)
+			if showNet {
+				return nil, fmt.Errorf("%s/%s: %w", experiment.DriverLabel(jobs[i].net), jobs[i].spec.Label(), err)
+			}
+			return nil, fmt.Errorf("%s: %w", jobs[i].spec.Label(), err)
 		}
 		return res, nil
 	})
 	if err != nil {
 		return err
 	}
-	for i, spec := range specs {
+	for i, j := range jobs {
 		res := results[i]
+		if showNet {
+			fmt.Fprintf(w, "%s\t", experiment.DriverLabel(j.net))
+		}
 		fmt.Fprintf(w, "%s\t%.3f\t%g\t%g\n",
-			spec.Label(), res.MessagesPerNodePerRound, res.SteadyStateMetric, res.FinalMetric)
+			j.spec.Label(), res.MessagesPerNodePerRound, res.SteadyStateMetric, res.FinalMetric)
 	}
 	return nil
 }

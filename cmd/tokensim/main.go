@@ -41,6 +41,7 @@ func run(args []string, w io.Writer) error {
 		strategyName = fs.String("strategy", "randomized:5:10", "strategy kind (with :params, e.g. simple:C, randomized:A:C): "+strings.Join(experiment.StrategyKinds(), ", "))
 		scenarioName = fs.String("scenario", "failure-free", "scenario: "+strings.Join(experiment.Scenarios(), ", "))
 		runtimeName  = fs.String("runtime", "sim", "execution runtime (live takes :timescale, e.g. live:0.001): "+strings.Join(experiment.Runtimes(), ", "))
+		networkName  = fs.String("network", "constant", "network latency/loss model (with :params, e.g. exponential:1.728, zones:4:0.5:3, lossy:0.01:uniform:1:2): "+strings.Join(experiment.Networks(), ", "))
 		queueName    = fs.String("queue", "", "event queue of the sim runtime: slab, heap, calendar (defaults to the runtime's choice, calendar); all produce identical output")
 		n            = fs.Int("n", 1000, "number of nodes")
 		rounds       = fs.Int("rounds", 200, "number of proactive periods")
@@ -70,6 +71,10 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	network, err := experiment.ParseNetwork(*networkName)
+	if err != nil {
+		return err
+	}
 	if *queueName != "" {
 		// Reject both non-sim runtimes and runtime specs that already carry
 		// their own parameter (e.g. sim:slab), so -queue never silently
@@ -88,6 +93,7 @@ func run(args []string, w io.Writer) error {
 		Strategy:       spec,
 		Scenario:       scenario,
 		Runtime:        rt,
+		Network:        network,
 		N:              *n,
 		Rounds:         *rounds,
 		Repetitions:    *reps,

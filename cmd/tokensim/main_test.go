@@ -58,6 +58,45 @@ func TestGoldenMatrixByteIdentity(t *testing.T) {
 	}
 }
 
+// goldenNetworkCases maps each golden file under testdata/golden-network to
+// the tokensim arguments that produce it. The configs cover the non-constant
+// latency families (variable gaps, zoned WAN delays, composed loss), so the
+// calendar queue's behaviour under non-constant inter-event gaps is pinned
+// end to end.
+var goldenNetworkCases = map[string][]string{
+	"gossip_exponential": {"-app", "gossip-learning", "-strategy", "randomized:5:10", "-network", "exponential:1.728"},
+	"push_zones":         {"-app", "push-gossip", "-strategy", "generalized:1:10", "-network", "zones:4:0.5:3"},
+	"gossip_lossy":       {"-app", "gossip-learning", "-strategy", "randomized:5:10", "-network", "lossy:0.1:uniform:0.5:3"},
+}
+
+// TestGoldenNetworkModelsByteIdentity extends the golden matrix to
+// heterogeneous network models: each case must reproduce its golden file
+// byte-for-byte under every event queue implementation, which simultaneously
+// pins determinism across repeated runs and queue equivalence on
+// variable-gap event streams (where the calendar queue's width estimation
+// actually matters).
+func TestGoldenNetworkModelsByteIdentity(t *testing.T) {
+	for name, args := range goldenNetworkCases {
+		want, err := os.ReadFile(filepath.Join("testdata", "golden-network", name+".tsv"))
+		if err != nil {
+			t.Fatalf("missing golden file for %s: %v (regenerate with the args in goldenNetworkCases)", name, err)
+		}
+		for _, queue := range []string{"slab", "heap", "calendar"} {
+			t.Run(name+"/"+queue, func(t *testing.T) {
+				var out strings.Builder
+				full := append(append([]string{}, args...),
+					"-queue", queue, "-n", "60", "-rounds", "20", "-reps", "2", "-seed", "7", "-tokens")
+				if err := run(full, &out); err != nil {
+					t.Fatal(err)
+				}
+				if out.String() != string(want) {
+					t.Errorf("output diverged from golden-network file %s (queue=%s)", name, queue)
+				}
+			})
+		}
+	}
+}
+
 func TestRunSummaryOnly(t *testing.T) {
 	var out strings.Builder
 	err := run([]string{
@@ -150,6 +189,10 @@ func TestRunErrors(t *testing.T) {
 		{"-scenario", "bogus"},
 		{"-runtime", "bogus"},
 		{"-runtime", "live:0"},
+		{"-network", "bogus"},
+		{"-network", "exponential:0"},
+		{"-network", "zones:4:1"},
+		{"-network", "lossy:1.5:constant"},
 		{"-queue", "bogus"},
 		{"-queue", "calendar", "-runtime", "live:0.001"},
 		{"-queue", "heap", "-runtime", "sim:slab"}, // conflicting explicit choices

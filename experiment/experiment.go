@@ -61,6 +61,10 @@ type Config struct {
 	// any driver resolved through ParseRuntime). Nil means SimRuntime: the
 	// discrete-event engine in virtual time.
 	Runtime RuntimeDriver
+	// Network is the network model driver (ConstantNetwork, or any driver
+	// resolved through ParseNetwork). Nil means ConstantNetwork: every
+	// message delivered after TransferDelay, the paper's setup.
+	Network NetworkDriver
 	// Seed drives all randomness; repetition r uses Seed+r.
 	Seed uint64
 	// Repetitions is the number of independent runs to average (the paper
@@ -110,6 +114,9 @@ func (c Config) WithDefaults() Config {
 	if c.Runtime == nil {
 		c.Runtime = SimRuntime
 	}
+	if c.Network == nil {
+		c.Network = ConstantNetwork
+	}
 	if c.Repetitions == 0 {
 		c.Repetitions = 1
 	}
@@ -145,6 +152,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("experiment: no scenario driver set")
 	case c.Runtime == nil:
 		return fmt.Errorf("experiment: no runtime driver set")
+	case c.Network == nil:
+		return fmt.Errorf("experiment: no network driver set")
 	case c.N < 2:
 		return fmt.Errorf("experiment: N = %d, need ≥ 2", c.N)
 	case c.Rounds < 1:
@@ -167,6 +176,9 @@ func (c Config) validate() error {
 			return err
 		}
 	}
+	if _, err := networkModel(c); err != nil {
+		return err
+	}
 	if _, err := c.Strategy.Build(); err != nil {
 		return err
 	}
@@ -184,6 +196,9 @@ func (c Config) Duration() float64 { return float64(c.Rounds) * c.Delta }
 // keeps its historical form while live runs stay distinguishable.
 func (c Config) Label() string {
 	label := fmt.Sprintf("%s/%s/%s/N=%d", DriverLabel(c.App), c.Strategy.Label(), DriverLabel(c.Scenario), c.N)
+	if !IsDefaultNetwork(c.Network) {
+		label += "/net=" + DriverLabel(c.Network)
+	}
 	if !IsDefaultRuntime(c.Runtime) {
 		label += "/" + DriverLabel(c.Runtime)
 	}
@@ -291,6 +306,10 @@ func runOnce(cfg Config, seed uint64) (*singleRun, error) {
 	}
 	defer env.Close()
 
+	network, err := networkModel(cfg)
+	if err != nil {
+		return nil, err
+	}
 	hostCfg := runtime.Config{
 		Graph:           graph,
 		Strategy:        func(int) core.Strategy { return strategy },
@@ -298,6 +317,7 @@ func runOnce(cfg Config, seed uint64) (*singleRun, error) {
 		Delta:           cfg.Delta,
 		Trace:           availability,
 		DropProbability: cfg.DropProbability,
+		Network:         network,
 	}
 	if cfg.AuditRateLimit {
 		audit := cfg.N / 100

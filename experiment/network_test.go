@@ -1,0 +1,236 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/szte-dcs/tokenaccount/metrics"
+	"github.com/szte-dcs/tokenaccount/netmodel"
+	"github.com/szte-dcs/tokenaccount/sim"
+)
+
+// networkTestConfig is a small, fast experiment used by the network-model
+// suite.
+func networkTestConfig(t *testing.T) Config {
+	t.Helper()
+	app, err := ParseApplication("gossip-learning")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseStrategySpec("randomized:5:10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{App: app, Strategy: spec, N: 60, Rounds: 20, Seed: 7}
+}
+
+func runNetwork(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func seriesEqual(a, b *metrics.Series) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		ta, va := a.At(i)
+		tb, vb := b.At(i)
+		if ta != tb || va != vb {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParseNetwork exercises the registry round trip for every built-in
+// model family plus the error paths.
+func TestParseNetwork(t *testing.T) {
+	valid := map[string]string{
+		"constant":                 "constant",
+		"fixed":                    "constant",
+		"constant:2.5":             "constant:2.5",
+		"uniform:0.5:3":            "uniform:0.5:3",
+		"exponential:1.728":        "exponential:1.728",
+		"exp:2":                    "exponential:2",
+		"lognormal:0.3:0.8":        "lognormal:0.3:0.8",
+		"zones:4:0.5:3":            "zones:4:0.5:3",
+		"wan:2:1:5":                "zones:2:1:5",
+		"lossy:0.01:exponential:2": "lossy:0.01:exponential:2",
+		"lossy:0.1:constant":       "lossy:0.1:constant",
+	}
+	for spec, label := range valid {
+		d, err := ParseNetwork(spec)
+		if err != nil {
+			t.Errorf("ParseNetwork(%q) failed: %v", spec, err)
+			continue
+		}
+		if got := DriverLabel(d); got != label {
+			t.Errorf("ParseNetwork(%q) label = %q, want %q", spec, got, label)
+		}
+	}
+	invalid := []string{
+		"", "bogus", "constant:x", "constant:1:2", "uniform:1", "uniform:3:1",
+		"exponential", "exponential:0", "exponential:-1", "lognormal:0",
+		"zones:0:1:2", "zones:2:1", "zones:x:1:2", "lossy:0.5", "lossy:2:constant",
+		"lossy:0.5:bogus", "lognormal:710:0",
+	}
+	for _, spec := range invalid {
+		if _, err := ParseNetwork(spec); err == nil {
+			t.Errorf("ParseNetwork(%q) succeeded, want error", spec)
+		}
+	}
+	if !contains(Networks(), "constant") || !contains(Networks(), "zones") {
+		t.Errorf("Networks() = %v, missing built-ins", Networks())
+	}
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDefaultNetworkByteIdentical pins the acceptance criterion: an
+// unspecified network, the parsed "constant" spec and a nil driver must all
+// reproduce the identical run — the legacy fixed-TransferDelay path.
+func TestDefaultNetworkByteIdentical(t *testing.T) {
+	base := runNetwork(t, networkTestConfig(t))
+
+	viaParse := networkTestConfig(t)
+	net, err := ParseNetwork("constant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaParse.Network = net
+	parsed := runNetwork(t, viaParse)
+
+	if base.MessagesSent != parsed.MessagesSent || !seriesEqual(base.Metric, parsed.Metric) {
+		t.Error("parsed \"constant\" network diverged from the default run")
+	}
+	if base.Config.Label() != parsed.Config.Label() {
+		t.Errorf("default label changed: %q vs %q", base.Config.Label(), parsed.Config.Label())
+	}
+	// An explicit constant model with the default TransferDelay travels the
+	// model path but must produce the same results (it draws no randomness).
+	viaModel := networkTestConfig(t)
+	viaModel.Network, err = ParseNetwork("constant:1.728")
+	if err != nil {
+		t.Fatal(err)
+	}
+	modeled := runNetwork(t, viaModel)
+	if base.MessagesSent != modeled.MessagesSent || !seriesEqual(base.Metric, modeled.Metric) {
+		t.Error("explicit constant:1.728 model diverged from the legacy fixed-delay path")
+	}
+}
+
+// TestNetworkModelsDeterministicAcrossQueues runs every non-constant model
+// family under all three event queue implementations and twice per queue:
+// results must be bit-identical across queues and repetitions, extending the
+// queue-equivalence guarantee to variable-gap event streams.
+func TestNetworkModelsDeterministicAcrossQueues(t *testing.T) {
+	specs := []string{
+		"uniform:0.5:3",
+		"exponential:1.728",
+		"lognormal:0.3:0.8",
+		"zones:4:0.5:3",
+		"lossy:0.1:exponential:2",
+	}
+	for _, spec := range specs {
+		t.Run(strings.ReplaceAll(spec, ":", "_"), func(t *testing.T) {
+			var ref *Result
+			for _, kind := range []sim.QueueKind{sim.QueueHeap, sim.QueueSlab, sim.QueueCalendar} {
+				cfg := networkTestConfig(t)
+				var err error
+				cfg.Network, err = ParseNetwork(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Runtime = SimRuntimeWithQueue(kind)
+				res := runNetwork(t, cfg)
+				again := runNetwork(t, cfg)
+				if res.MessagesSent != again.MessagesSent || !seriesEqual(res.Metric, again.Metric) {
+					t.Fatalf("queue %s: repeated run diverged", kind)
+				}
+				if ref == nil {
+					ref = res
+					continue
+				}
+				if res.MessagesSent != ref.MessagesSent || !seriesEqual(res.Metric, ref.Metric) {
+					t.Fatalf("queue %s diverged from the reference queue", kind)
+				}
+			}
+		})
+	}
+}
+
+// TestNetworkChangesResults is the sanity check that non-constant models
+// actually take effect: an exponential network must not reproduce the
+// constant-delay run bit-for-bit.
+func TestNetworkChangesResults(t *testing.T) {
+	base := runNetwork(t, networkTestConfig(t))
+	cfg := networkTestConfig(t)
+	var err error
+	cfg.Network, err = ParseNetwork("exponential:1.728")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := runNetwork(t, cfg)
+	if seriesEqual(base.Metric, exp.Metric) {
+		t.Error("exponential network produced the identical metric series as the constant one")
+	}
+	if got := exp.Config.Label(); !strings.Contains(got, "net=exponential:1.728") {
+		t.Errorf("label %q does not name the non-default network", got)
+	}
+}
+
+// TestLossyNetworkDropsTraffic checks that model-level loss shows up in the
+// message accounting.
+func TestLossyNetworkDropsTraffic(t *testing.T) {
+	base := runNetwork(t, networkTestConfig(t))
+	cfg := networkTestConfig(t)
+	cfg.Network = ModelNetwork("lossy", netmodel.Lossy{P: 1, Inner: netmodel.Constant{D: 1}})
+	res := runNetwork(t, cfg)
+	if res.MessagesSent == 0 {
+		t.Fatal("no messages sent")
+	}
+	if seriesEqual(base.Metric, res.Metric) {
+		t.Error("dropping every message left the metric series unchanged")
+	}
+	if res.MessagesSent >= base.MessagesSent {
+		// With every message lost, no receipt ever triggers reactive sends,
+		// so total traffic must fall below the lossless run's.
+		t.Errorf("lossy run sent %.0f messages, lossless %.0f — expected fewer",
+			res.MessagesSent, base.MessagesSent)
+	}
+}
+
+// TestNetworkValidationInConfig checks that a driver whose model cannot be
+// built fails experiment validation with an "experiment:" error.
+func TestNetworkValidationInConfig(t *testing.T) {
+	cfg := networkTestConfig(t)
+	cfg.Network = badNetwork{}
+	if _, err := Run(cfg); err == nil {
+		t.Error("config with a failing network driver accepted")
+	}
+}
+
+type badNetwork struct{}
+
+func (badNetwork) Name() string { return "bad" }
+func (badNetwork) Model(Config) (netmodel.Model, error) {
+	return nil, errBadNetwork
+}
+
+var errBadNetwork = &badNetworkError{}
+
+type badNetworkError struct{}
+
+func (*badNetworkError) Error() string { return "experiment: bad network" }

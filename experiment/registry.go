@@ -75,6 +75,7 @@ var (
 	scenarios    = newRegistry[ScenarioFactory]("scenario")
 	strategies   = newRegistry[StrategyDriver]("strategy kind")
 	runtimes     = newRegistry[RuntimeFactory]("runtime")
+	networks     = newRegistry[NetworkFactory]("network")
 )
 
 // RegisterApplication adds an application driver to the registry under
@@ -209,6 +210,42 @@ func ParseRuntime(spec string) (RuntimeDriver, error) {
 // Runtimes returns the canonical names of all registered runtimes in sorted
 // order.
 func Runtimes() []string { return runtimes.list() }
+
+// NetworkFactory builds a NetworkDriver from the colon-separated parameters
+// following the network name in a spec string such as "exponential:1.728".
+// Parameter-free networks must reject a non-empty args slice.
+type NetworkFactory func(args []string) (NetworkDriver, error)
+
+// RegisterNetwork adds a network factory to the registry. The factory is
+// invoked by ParseNetwork with the parameters following the name, so a
+// single registered name can serve a parameterized family of network models.
+// It fails if any of the names is already taken.
+func RegisterNetwork(name string, factory NetworkFactory, aliases ...string) error {
+	return networks.register(name, factory, aliases...)
+}
+
+// MustRegisterNetwork is RegisterNetwork, panicking on error.
+func MustRegisterNetwork(name string, factory NetworkFactory, aliases ...string) {
+	if err := RegisterNetwork(name, factory, aliases...); err != nil {
+		panic(err)
+	}
+}
+
+// ParseNetwork resolves a network spec string of the form
+// "name[:param[:param...]]" against the registry: the name (or alias)
+// selects the factory, which receives the remaining parts.
+func ParseNetwork(spec string) (NetworkDriver, error) {
+	parts := strings.Split(strings.TrimSpace(spec), ":")
+	if f, ok := networks.lookup(parts[0]); ok {
+		return f(parts[1:])
+	}
+	return nil, fmt.Errorf("experiment: unknown network %q (registered: %s)",
+		spec, strings.Join(Networks(), ", "))
+}
+
+// Networks returns the canonical names of all registered network models in
+// sorted order.
+func Networks() []string { return networks.list() }
 
 func strategyDriver(kind StrategyKind) (StrategyDriver, error) {
 	if d, ok := strategies.lookup(string(kind)); ok {

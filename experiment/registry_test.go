@@ -177,6 +177,13 @@ func TestRegistryErrors(t *testing.T) {
 	if _, err := ParseStrategySpec("no-such-kind:1"); err == nil || !strings.Contains(err.Error(), "unknown strategy") {
 		t.Errorf("unknown strategy error = %v", err)
 	}
+
+	if err := RegisterNetwork("constant", func([]string) (NetworkDriver, error) { return ConstantNetwork, nil }); err == nil {
+		t.Error("duplicate network name accepted")
+	}
+	if _, err := ParseNetwork("no-such-network"); err == nil || !strings.Contains(err.Error(), "unknown network") {
+		t.Errorf("unknown network error = %v", err)
+	}
 }
 
 // TestRegisteredExtensionRunsThroughGenericPipeline registers a fresh

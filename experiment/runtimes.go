@@ -139,10 +139,19 @@ func (l liveRuntime) scale() float64 {
 }
 
 func (l liveRuntime) NewEnv(cfg Config, seed uint64) (runtime.Env, error) {
+	latency := cfg.TransferDelay
+	if m, err := networkModel(cfg); err != nil {
+		return nil, err
+	} else if m != nil {
+		// A network model owns the whole latency budget: the Host schedules
+		// every message with a model-sampled delay (live.Env.SendDelayed),
+		// so the memory bus must not add the constant transfer delay on top.
+		latency = 0
+	}
 	return live.NewEnv(live.EnvConfig{
 		N:         cfg.N,
 		Seed:      seed,
 		TimeScale: l.scale(),
-		Latency:   cfg.TransferDelay,
+		Latency:   latency,
 	})
 }

@@ -50,9 +50,8 @@ type Env struct {
 	bus   *transport.MemoryBus
 	trans []transport.Transport
 
-	deliver runtime.DeliverFunc
-
 	mu      sync.Mutex
+	deliver runtime.DeliverFunc
 	started bool
 	start   time.Time
 	events  eventHeap
@@ -68,7 +67,10 @@ type Env struct {
 	droppedInbox int64
 }
 
-var _ runtime.Env = (*Env)(nil)
+var (
+	_ runtime.Env           = (*Env)(nil)
+	_ runtime.DelayedSender = (*Env)(nil)
+)
 
 type envDelivery struct {
 	from, to protocol.NodeID
@@ -93,6 +95,10 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 	}
 	if cfg.QueueSize == 0 {
 		cfg.QueueSize = 4096
+	}
+	if wall := cfg.Latency * cfg.TimeScale; wall > maxWallSeconds {
+		return nil, fmt.Errorf("live: Latency = %g run-seconds spans %g wall-clock seconds at TimeScale %g, beyond the one-year scheduling limit",
+			cfg.Latency, wall, cfg.TimeScale)
 	}
 	e := &Env{
 		cfg:    cfg,
@@ -159,13 +165,23 @@ func (e *Env) enqueue(d envDelivery) {
 	}
 }
 
-// wallDuration converts a span of run time to wall time.
+// maxWallSeconds bounds every wall-clock span the environment schedules to
+// one year. Spans beyond it used to be silently clamped — a Run horizon that
+// outran the cap returned early with no error; they are now rejected up
+// front (NewEnv for the transport latency, Run for the horizon).
+const maxWallSeconds = 365 * 24 * 3600.0
+
+// wallSpan converts a span of run time to wall-clock seconds.
+func (e *Env) wallSpan(seconds float64) float64 { return seconds * e.cfg.TimeScale }
+
+// wallDuration converts a span of run time to wall time. Every span reaching
+// the scheduler is bounded by a horizon or latency already validated against
+// maxWallSeconds, so the clamp here is only a safety net against
+// time.Duration overflow.
 func (e *Env) wallDuration(seconds float64) time.Duration {
-	wall := seconds * e.cfg.TimeScale
-	// Clamp to a year so absurd horizons cannot overflow time.Duration.
-	const maxWall = 365 * 24 * 3600.0
-	if wall > maxWall {
-		wall = maxWall
+	wall := e.wallSpan(seconds)
+	if wall > maxWallSeconds {
+		wall = maxWallSeconds
 	}
 	return time.Duration(wall * float64(time.Second))
 }
@@ -263,29 +279,72 @@ func (e *Env) Send(from, to protocol.NodeID, payload protocol.Payload) {
 	_ = e.trans[from].Send(to, payload.Value())
 }
 
-// SetDeliver implements runtime.Env.
-func (e *Env) SetDeliver(fn runtime.DeliverFunc) { e.deliver = fn }
+// SendDelayed implements runtime.DelayedSender: the per-message delay
+// sampled by a network model is realized on the run loop's timer heap — the
+// payload reaches the sender's transport endpoint once the delay has elapsed
+// in run time, then traverses the transport as usual. Runtimes that drive a
+// network model configure a zero base Latency so the model owns the whole
+// latency budget. Like Send, it may be called from any dispatched callback;
+// delays at or past the run horizon mean the message is never delivered,
+// mirroring the simulated environment.
+func (e *Env) SendDelayed(from, to protocol.NodeID, payload protocol.Payload, delay float64) {
+	if int(from) < 0 || int(from) >= len(e.trans) {
+		return
+	}
+	if delay <= 0 || delay != delay {
+		_ = e.trans[from].Send(to, payload.Value())
+		return
+	}
+	tr := e.trans[from]
+	v := payload.Value()
+	e.At(e.Now()+delay, func() {
+		// Delivery failures are message loss, which the protocol tolerates.
+		_ = tr.Send(to, v)
+	})
+}
+
+// SetDeliver implements runtime.Env. It may be called from any goroutine;
+// the run loop reads the callback under the same mutex, so a mid-run swap is
+// race-free (each delivery sees either the old or the new callback).
+func (e *Env) SetDeliver(fn runtime.DeliverFunc) {
+	e.mu.Lock()
+	e.deliver = fn
+	e.mu.Unlock()
+}
 
 // N implements runtime.Env.
 func (e *Env) N() int { return len(e.online) }
 
 // Online implements runtime.Env. It may be called from any goroutine.
+// Out-of-range node ids report offline instead of panicking inside the
+// mutex, so a stray id from a trace or scenario degrades to a dropped
+// message.
 func (e *Env) Online(node int) bool {
+	if node < 0 || node >= len(e.online) {
+		return false
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.online[node]
 }
 
-// SetOnline implements runtime.Env.
+// SetOnline implements runtime.Env. Out-of-range node ids are a no-op.
 func (e *Env) SetOnline(node int) {
+	if node < 0 || node >= len(e.online) {
+		return
+	}
 	e.mu.Lock()
 	e.online[node] = true
 	e.mu.Unlock()
 }
 
 // SetOffline implements runtime.Env. Messages already queued for the node
-// are dropped at delivery time by the host's online check.
+// are dropped at delivery time by the host's online check. Out-of-range node
+// ids are a no-op.
 func (e *Env) SetOffline(node int) {
+	if node < 0 || node >= len(e.online) {
+		return
+	}
 	e.mu.Lock()
 	e.online[node] = false
 	e.mu.Unlock()
@@ -320,10 +379,16 @@ func (e *Env) nextEventTime(until float64) (float64, bool) {
 
 // dispatch runs one transport delivery on the run loop. The concrete value
 // that arrived from the wire is re-wrapped as a boxed payload; the built-in
-// applications accept both representations.
+// applications accept both representations. The callback is read under mu
+// (it may be swapped from another goroutine, see SetDeliver) but invoked
+// outside it: delivery handlers re-enter the environment (Send, At, the
+// inbox overflow counter), all of which take mu.
 func (e *Env) dispatch(d envDelivery) {
-	if e.deliver != nil {
-		e.deliver(d.from, d.to, protocol.BoxPayload(d.payload))
+	e.mu.Lock()
+	deliver := e.deliver
+	e.mu.Unlock()
+	if deliver != nil {
+		deliver(d.from, d.to, protocol.BoxPayload(d.payload))
 	}
 }
 
@@ -333,6 +398,10 @@ func (e *Env) dispatch(d envDelivery) {
 // Events scheduled past the horizon stay pending, mirroring the simulated
 // environment.
 func (e *Env) Run(until float64) error {
+	if wall := e.wallSpan(until); wall > maxWallSeconds || wall != wall {
+		return fmt.Errorf("live: Run horizon %g run-seconds spans %g wall-clock seconds at TimeScale %g, beyond the one-year scheduling limit (lower the horizon or the time scale)",
+			until, wall, e.cfg.TimeScale)
+	}
 	e.ensureStarted()
 	e.mu.Lock()
 	closed := e.closed

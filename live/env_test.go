@@ -1,11 +1,14 @@
 package live_test
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"github.com/szte-dcs/tokenaccount/apps/pushgossip"
 	"github.com/szte-dcs/tokenaccount/core"
 	"github.com/szte-dcs/tokenaccount/live"
+	"github.com/szte-dcs/tokenaccount/netmodel"
 	"github.com/szte-dcs/tokenaccount/overlay"
 	"github.com/szte-dcs/tokenaccount/protocol"
 	"github.com/szte-dcs/tokenaccount/runtime"
@@ -19,6 +22,10 @@ func TestEnvConfigValidation(t *testing.T) {
 		{N: 4, TimeScale: -1},
 		{N: 4, Latency: -1},
 		{N: 4, QueueSize: -1},
+		// A latency spanning more than a wall-clock year used to be silently
+		// clamped; it is now a validation error.
+		{N: 4, TimeScale: 1, Latency: 400 * 24 * 3600 * 365},
+		{N: 4, TimeScale: 1e6, Latency: 40},
 	}
 	for i, cfg := range broken {
 		if env, err := live.NewEnv(cfg); err == nil {
@@ -103,6 +110,159 @@ func TestEnvCloseIsIdempotentAndStopsRun(t *testing.T) {
 	}
 	if err := env.Run(1); err == nil {
 		t.Error("Run after Close should fail")
+	}
+}
+
+// TestEnvRunHorizonBeyondYearFails pins the fix for the silent one-year
+// clamp: a horizon whose wall-clock span exceeds a year made Run return
+// early with no error; it must now be rejected up front.
+func TestEnvRunHorizonBeyondYearFails(t *testing.T) {
+	env, err := live.NewEnv(live.EnvConfig{N: 2, TimeScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	if err := env.Run(400 * 24 * 3600 * 365); err == nil {
+		t.Error("Run accepted a horizon spanning more than a wall-clock year")
+	}
+	// The same horizon is fine under a time scale that compresses it below
+	// the limit.
+	scaled, err := live.NewEnv(live.EnvConfig{N: 2, TimeScale: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scaled.Close()
+	if err := scaled.Run(400 * 24 * 3600 * 365); err != nil {
+		t.Errorf("compressed horizon rejected: %v", err)
+	}
+}
+
+// TestEnvLifecycleOutOfRange pins the bounds behaviour of the lifecycle API:
+// a stray node id must report offline / no-op instead of panicking inside
+// the environment mutex.
+func TestEnvLifecycleOutOfRange(t *testing.T) {
+	env, err := live.NewEnv(live.EnvConfig{N: 3, TimeScale: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	for _, node := range []int{-1, 3, 1 << 20} {
+		if env.Online(node) {
+			t.Errorf("Online(%d) = true for an out-of-range id", node)
+		}
+		env.SetOnline(node)  // must not panic
+		env.SetOffline(node) // must not panic
+	}
+	if !env.Online(0) || !env.Online(2) {
+		t.Error("in-range nodes must stay online")
+	}
+}
+
+// TestEnvSetDeliverConcurrentWithDispatch is the regression test for the
+// SetDeliver data race: the delivery callback is swapped from another
+// goroutine while the run loop dispatches transport deliveries. Under -race
+// this flagged the unguarded write to Env.deliver.
+func TestEnvSetDeliverConcurrentWithDispatch(t *testing.T) {
+	env, err := live.NewEnv(live.EnvConfig{N: 2, TimeScale: 0.0005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	var delivered atomic.Int64
+	count := func(protocol.NodeID, protocol.NodeID, protocol.Payload) { delivered.Add(1) }
+	env.SetDeliver(count)
+	// Generate a steady delivery stream on the run loop.
+	env.Every(1, 1, func() bool {
+		env.Send(0, 1, protocol.BoxPayload("m"))
+		return true
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			env.SetDeliver(count)
+		}
+	}()
+	if err := env.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if delivered.Load() == 0 {
+		t.Error("no deliveries dispatched during the race window")
+	}
+}
+
+// TestEnvSendDelayed checks that a model-sampled per-message delay holds the
+// message back for the requested run time before it enters the transport.
+func TestEnvSendDelayed(t *testing.T) {
+	env, err := live.NewEnv(live.EnvConfig{N: 2, TimeScale: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	type arrival struct{ at float64 }
+	var arrivals []arrival
+	env.SetDeliver(func(from, to protocol.NodeID, payload protocol.Payload) {
+		arrivals = append(arrivals, arrival{at: env.Now()})
+	})
+	env.Schedule(0, func() {
+		env.SendDelayed(0, 1, protocol.BoxPayload("slow"), 60)
+		env.SendDelayed(0, 1, protocol.BoxPayload("fast"), 0)
+	})
+	if err := env.Run(120); err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 2 {
+		t.Fatalf("got %d deliveries, want 2", len(arrivals))
+	}
+	if arrivals[0].at >= arrivals[1].at {
+		t.Errorf("zero-delay message arrived at %v, after the delayed one at %v", arrivals[0].at, arrivals[1].at)
+	}
+	if arrivals[1].at < 60 {
+		t.Errorf("delayed message arrived at run time %v, want ≥ 60", arrivals[1].at)
+	}
+}
+
+// TestHostOverLiveEnvWithNetworkModel runs a full host on the wall-clock
+// environment under a heterogeneous network model: traffic must still flow
+// and the model delays must not break the run loop.
+func TestHostOverLiveEnvWithNetworkModel(t *testing.T) {
+	const (
+		n     = 10
+		delta = 100.0
+		scale = 1e-4
+	)
+	graph, err := overlay.RandomKOut(n, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := live.NewEnv(live.EnvConfig{N: n, Seed: 21, TimeScale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	host, err := runtime.NewHost(env, runtime.Config{
+		Graph:    graph,
+		Strategy: func(int) core.Strategy { return core.MustGeneralized(1, 5) },
+		NewApp:   func(int) protocol.Application { return pushgossip.New() },
+		Delta:    delta,
+		Network:  netmodel.Zones{K: 2, Intra: delta / 200, Inter: delta / 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.At(delta/2, func() {
+		if node, ok := host.RandomOnlineNode(); ok {
+			host.App(node).(*pushgossip.State).Inject(1)
+		}
+	})
+	if err := host.Run(8 * delta); err != nil {
+		t.Fatal(err)
+	}
+	if host.MessagesSent() == 0 || host.MessagesDelivered() == 0 {
+		t.Errorf("no traffic under the network model: sent %d, delivered %d",
+			host.MessagesSent(), host.MessagesDelivered())
 	}
 }
 

@@ -1,0 +1,258 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+
+	"github.com/szte-dcs/tokenaccount/internal/rng"
+	"github.com/szte-dcs/tokenaccount/protocol"
+)
+
+// must unwraps a constructor result, panicking on error (test setup only).
+func must[T Model](m T, err error) Model {
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// TestConstructorsValidate checks that every constructor rejects out-of-range
+// parameters.
+func TestConstructorsValidate(t *testing.T) {
+	inf := math.Inf(1)
+	nan := math.NaN()
+	bad := []error{
+		errOf2(NewConstant(-1)),
+		errOf2(NewConstant(nan)),
+		errOf2(NewUniform(-1, 2)),
+		errOf2(NewUniform(2, 1)),
+		errOf2(NewUniform(0, inf)),
+		errOf2(NewExponential(0)),
+		errOf2(NewExponential(-3)),
+		errOf2(NewLogNormal(inf, 1)),
+		errOf2(NewLogNormal(0, -1)),
+		errOf2(NewLogNormal(710, 0)), // exp(710) overflows: delay would be +Inf
+		errOf2(NewLogNormal(0, 100)), // tail draw overflows through sigma
+		errOf2(NewZones(0, 1, 2)),
+		errOf2(NewZones(4, -1, 2)),
+		errOf2(NewZones(4, 1, nan)),
+		errOf2(NewLossy(-0.1, Constant{D: 1})),
+		errOf2(NewLossy(1.5, Constant{D: 1})),
+		errOf2(NewLossy(0.5, nil)),
+	}
+	for i, err := range bad {
+		if err == nil {
+			t.Errorf("bad parameter set %d accepted", i)
+		}
+	}
+	good := []error{
+		errOf2(NewConstant(0)),
+		errOf2(NewUniform(1, 1)),
+		errOf2(NewExponential(1.728)),
+		errOf2(NewLogNormal(0, 0)),
+		errOf2(NewZones(1, 0, 0)),
+		errOf2(NewLossy(0, Constant{D: 1})),
+		errOf2(NewLossy(1, Constant{D: 1})),
+	}
+	for i, err := range good {
+		if err != nil {
+			t.Errorf("good parameter set %d rejected: %v", i, err)
+		}
+	}
+}
+
+func errOf2[T any](_ T, err error) error { return err }
+
+// TestDelaysAreValidAndDeterministic draws many delays from every model and
+// checks range validity plus bit-for-bit reproducibility from the same seed.
+func TestDelaysAreValidAndDeterministic(t *testing.T) {
+	models := []Model{
+		must(NewConstant(1.728)),
+		must(NewUniform(0.5, 3)),
+		must(NewExponential(1.728)),
+		must(NewLogNormal(0.3, 0.8)),
+		must(NewZones(4, 0.5, 3)),
+		must(NewLossy(0.05, Exponential{Mean: 2})),
+	}
+	for _, m := range models {
+		run := func(seed uint64) ([]float64, int) {
+			r := rng.New(seed)
+			var delays []float64
+			drops := 0
+			for i := 0; i < 2000; i++ {
+				from, to := protocol.NodeID(i%97), protocol.NodeID((i*31)%89)
+				if m.Drop(from, to, r) {
+					drops++
+					continue
+				}
+				delays = append(delays, m.Delay(from, to, r))
+			}
+			return delays, drops
+		}
+		a, dropsA := run(42)
+		b, dropsB := run(42)
+		if len(a) != len(b) || dropsA != dropsB {
+			t.Fatalf("%v: repeated run diverged: %d/%d delays, %d/%d drops", m, len(a), len(b), dropsA, dropsB)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: delay %d diverged: %v vs %v", m, i, a[i], b[i])
+			}
+			if a[i] < 0 || math.IsNaN(a[i]) || math.IsInf(a[i], 0) {
+				t.Fatalf("%v: invalid delay %v", m, a[i])
+			}
+		}
+	}
+}
+
+// TestUniformStaysInBounds pins the half-open sampling interval.
+func TestUniformStaysInBounds(t *testing.T) {
+	u := must(NewUniform(2, 5))
+	r := rng.New(7)
+	for i := 0; i < 10000; i++ {
+		d := u.Delay(0, 1, r)
+		if d < 2 || d >= 5 {
+			t.Fatalf("uniform delay %v outside [2, 5)", d)
+		}
+	}
+}
+
+// TestExponentialMean checks the sample mean against the configured one.
+func TestExponentialMean(t *testing.T) {
+	e := must(NewExponential(1.728))
+	r := rng.New(3)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += e.Delay(0, 1, r)
+	}
+	if mean := sum / n; math.Abs(mean-1.728) > 0.03 {
+		t.Errorf("exponential sample mean %v, want ≈ 1.728", mean)
+	}
+}
+
+// TestZonesAssignment checks that the zone hash is stable, covers every zone
+// for a reasonable population, and that delays follow the intra/inter split.
+func TestZonesAssignment(t *testing.T) {
+	z := Zones{K: 4, Intra: 0.5, Inter: 3}
+	seen := make(map[int]int)
+	for i := 0; i < 400; i++ {
+		zone := z.Zone(protocol.NodeID(i))
+		if zone < 0 || zone >= 4 {
+			t.Fatalf("node %d hashed to zone %d outside [0,4)", i, zone)
+		}
+		if zone != z.Zone(protocol.NodeID(i)) {
+			t.Fatalf("zone of node %d not stable", i)
+		}
+		seen[zone]++
+	}
+	if len(seen) != 4 {
+		t.Fatalf("only %d of 4 zones populated: %v", len(seen), seen)
+	}
+	r := rng.New(1)
+	for i := 0; i < 200; i++ {
+		from, to := protocol.NodeID(i), protocol.NodeID(399-i)
+		want := z.Inter
+		if z.Zone(from) == z.Zone(to) {
+			want = z.Intra
+		}
+		if got := z.Delay(from, to, r); got != want {
+			t.Fatalf("zones delay %d→%d = %v, want %v", from, to, got, want)
+		}
+	}
+	// A hand-built zero-value Zones must degenerate to one zone, not panic
+	// on a division by zero.
+	degenerate := Zones{Intra: 1, Inter: 5}
+	if degenerate.Zone(7) != 0 || degenerate.Delay(3, 9, r) != 1 {
+		t.Error("K=0 zones did not degenerate to a single intra-delay zone")
+	}
+}
+
+// TestLogNormalDelayStaysFinite pins the overflow clamp for hand-built
+// models that bypass NewLogNormal's validation.
+func TestLogNormalDelayStaysFinite(t *testing.T) {
+	l := LogNormal{Mu: 710, Sigma: 50}
+	r := rng.New(2)
+	for i := 0; i < 1000; i++ {
+		if d := l.Delay(0, 1, r); math.IsInf(d, 0) || math.IsNaN(d) || d < 0 {
+			t.Fatalf("overflowing lognormal produced invalid delay %v", d)
+		}
+	}
+}
+
+// TestLossyDropRate checks the loss lottery's empirical rate and that the
+// zero-probability wrapper never draws the lottery.
+func TestLossyDropRate(t *testing.T) {
+	l := must(NewLossy(0.25, Constant{D: 1}))
+	r := rng.New(5)
+	drops := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if l.Drop(0, 1, r) {
+			drops++
+		}
+	}
+	if rate := float64(drops) / n; math.Abs(rate-0.25) > 0.01 {
+		t.Errorf("lossy drop rate %v, want ≈ 0.25", rate)
+	}
+	// P = 0 must not consume randomness: the stream stays aligned with a
+	// plain inner model.
+	inner := Constant{D: 1}
+	zero := must(NewLossy(0, inner))
+	a, b := rng.New(9), rng.New(9)
+	for i := 0; i < 100; i++ {
+		if zero.Drop(0, 1, a) {
+			t.Fatal("lossy with P=0 dropped a message")
+		}
+		if inner.Drop(0, 1, b) {
+			t.Fatal("constant model dropped a message")
+		}
+	}
+	if a.Float64() != b.Float64() {
+		t.Error("lossy with P=0 consumed randomness")
+	}
+}
+
+// TestModelsAllocateNothing pins the zero-allocation constraint of the
+// message hot path: sampling any built-in model costs no heap allocations.
+func TestModelsAllocateNothing(t *testing.T) {
+	models := []Model{
+		Constant{D: 1.728},
+		Uniform{Lo: 0.5, Hi: 3},
+		Exponential{Mean: 1.728},
+		LogNormal{Mu: 0.3, Sigma: 0.8},
+		Zones{K: 4, Intra: 0.5, Inter: 3},
+		Lossy{P: 0.05, Inner: Exponential{Mean: 2}},
+	}
+	r := rng.New(11)
+	var sink float64
+	for _, m := range models {
+		m := m
+		allocs := testing.AllocsPerRun(1000, func() {
+			if !m.Drop(3, 8, r) {
+				sink += m.Delay(3, 8, r)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%v allocates %.1f per message, want 0", m, allocs)
+		}
+	}
+	_ = sink
+}
+
+// TestStringSpecForms pins the display form of every model.
+func TestStringSpecForms(t *testing.T) {
+	cases := map[string]Model{
+		"constant:1.728":           Constant{D: 1.728},
+		"uniform:0.5:3":            Uniform{Lo: 0.5, Hi: 3},
+		"exponential:2":            Exponential{Mean: 2},
+		"lognormal:0.3:0.8":        LogNormal{Mu: 0.3, Sigma: 0.8},
+		"zones:4:0.5:3":            Zones{K: 4, Intra: 0.5, Inter: 3},
+		"lossy:0.05:exponential:2": Lossy{P: 0.05, Inner: Exponential{Mean: 2}},
+	}
+	for want, m := range cases {
+		if got := modelLabel(m); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

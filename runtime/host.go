@@ -5,6 +5,7 @@ import (
 
 	"github.com/szte-dcs/tokenaccount/core"
 	"github.com/szte-dcs/tokenaccount/internal/peersample"
+	"github.com/szte-dcs/tokenaccount/netmodel"
 	"github.com/szte-dcs/tokenaccount/overlay"
 	"github.com/szte-dcs/tokenaccount/protocol"
 	"github.com/szte-dcs/tokenaccount/trace"
@@ -43,6 +44,14 @@ type Config struct {
 	// themselves do not (§2.1); this knob exercises the fault-tolerance role
 	// of the proactive component.
 	DropProbability float64
+	// Network is the per-message latency/loss model. Nil keeps the
+	// environment's fixed transfer delay — the paper's setup, bit-for-bit.
+	// With a model set, every outgoing message that survives the loss
+	// lotteries is handed to the environment with a delay sampled from the
+	// model on the StreamNet stream (after the DropProbability draw, so the
+	// two knobs compose deterministically), which requires an environment
+	// implementing DelayedSender.
+	Network netmodel.Model
 }
 
 func (c Config) validate() error {
@@ -85,6 +94,11 @@ type Host struct {
 
 	netRNG protocol.Rand
 
+	// network and delayedSend are resolved once at assembly so the Send hot
+	// path pays one nil check, not a per-message type assertion.
+	network     netmodel.Model
+	delayedSend DelayedSender
+
 	sent      int64
 	delivered int64
 	dropped   int64
@@ -122,7 +136,15 @@ func NewHost(env Env, cfg Config) (*Host, error) {
 		nodes:     make([]*protocol.Node, n),
 		apps:      make([]protocol.Application, n),
 		netRNG:    env.Rand(StreamNet),
+		network:   cfg.Network,
 		envelopes: make(map[int]*core.Envelope),
+	}
+	if cfg.Network != nil {
+		ds, ok := env.(DelayedSender)
+		if !ok {
+			return nil, fmt.Errorf("runtime: Config.Network set but environment %T does not implement runtime.DelayedSender", env)
+		}
+		h.delayedSend = ds
 	}
 	liveness := func(id protocol.NodeID) bool { return env.Online(int(id)) }
 	for i := 0; i < n; i++ {
@@ -292,9 +314,12 @@ func (h *Host) RandomOnlineNeighbor(i int) (int, bool) {
 	return int(online[h.netRNG.Intn(len(online))]), true
 }
 
-// Send implements protocol.Sender: after the host-level loss lottery the
+// Send implements protocol.Sender: after the host-level loss lotteries the
 // payload is handed to the environment's transport, which delivers it back
-// through deliver (or drops it in transit).
+// through deliver (or drops it in transit). With a network model configured,
+// the model's loss lottery runs after the DropProbability one and surviving
+// messages travel with a model-sampled delay; all draws come from the
+// StreamNet stream in a fixed order, so runs stay deterministic.
 func (h *Host) Send(from, to protocol.NodeID, payload protocol.Payload) {
 	h.sent++
 	if env, ok := h.envelopes[int(from)]; ok {
@@ -302,6 +327,14 @@ func (h *Host) Send(from, to protocol.NodeID, payload protocol.Payload) {
 	}
 	if h.cfg.DropProbability > 0 && h.netRNG.Float64() < h.cfg.DropProbability {
 		h.dropped++
+		return
+	}
+	if h.network != nil {
+		if h.network.Drop(from, to, h.netRNG) {
+			h.dropped++
+			return
+		}
+		h.delayedSend.SendDelayed(from, to, payload, h.network.Delay(from, to, h.netRNG))
 		return
 	}
 	h.env.Send(from, to, payload)

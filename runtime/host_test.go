@@ -5,6 +5,7 @@ import (
 
 	"github.com/szte-dcs/tokenaccount/apps/pushgossip"
 	"github.com/szte-dcs/tokenaccount/core"
+	"github.com/szte-dcs/tokenaccount/netmodel"
 	"github.com/szte-dcs/tokenaccount/overlay"
 	"github.com/szte-dcs/tokenaccount/protocol"
 	"github.com/szte-dcs/tokenaccount/runtime"
@@ -208,6 +209,91 @@ func TestHostDropProbabilityOne(t *testing.T) {
 	if host.MessagesSent() == 0 || host.MessagesDropped() != host.MessagesSent() {
 		t.Errorf("sent %d, dropped %d: every sent message should be dropped",
 			host.MessagesSent(), host.MessagesDropped())
+	}
+}
+
+// TestHostNetworkConstantModelMatchesDefault runs the identical assembly
+// once on the legacy fixed-transfer-delay path (Config.Network nil) and once
+// through an explicit constant network model with the same delay, and checks
+// that every observable counter agrees: the constant model draws no
+// randomness, so the model path is behaviour-preserving.
+func TestHostNetworkConstantModelMatchesDefault(t *testing.T) {
+	const n, seed = 60, 13
+	run := func(network netmodel.Model) *runtime.Host {
+		env := newSimEnv(t, n, seed)
+		cfg := hostConfig(t, n)
+		cfg.Network = network
+		host, err := runtime.NewHost(env, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.Every(delta/10, delta/10, func() bool {
+			if node, ok := host.RandomOnlineNode(); ok {
+				host.App(node).(*pushgossip.State).Inject(1)
+			}
+			return true
+		})
+		if err := host.Run(30 * delta); err != nil {
+			t.Fatal(err)
+		}
+		return host
+	}
+	legacy := run(nil)
+	model := run(netmodel.Constant{D: delta / 100})
+	if legacy.MessagesSent() != model.MessagesSent() ||
+		legacy.MessagesDelivered() != model.MessagesDelivered() ||
+		legacy.MessagesDropped() != model.MessagesDropped() {
+		t.Errorf("message counters differ: legacy (%d,%d,%d) vs model (%d,%d,%d)",
+			legacy.MessagesSent(), legacy.MessagesDelivered(), legacy.MessagesDropped(),
+			model.MessagesSent(), model.MessagesDelivered(), model.MessagesDropped())
+	}
+	if legacy.TotalStats() != model.TotalStats() {
+		t.Errorf("stats differ: %+v vs %+v", legacy.TotalStats(), model.TotalStats())
+	}
+	if legacy.AverageTokens(false) != model.AverageTokens(false) {
+		t.Errorf("average tokens differ: %v vs %v", legacy.AverageTokens(false), model.AverageTokens(false))
+	}
+}
+
+// TestHostNetworkLossyDropsAreCounted checks that model-level losses land in
+// the host's dropped counter and never reach a node.
+func TestHostNetworkLossyDropsAreCounted(t *testing.T) {
+	cfg := hostConfig(t, 20)
+	cfg.Network = netmodel.Lossy{P: 1, Inner: netmodel.Constant{D: 1}}
+	host, err := runtime.NewHost(newSimEnv(t, 20, 9), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host.App(0).(*pushgossip.State).Inject(1)
+	if err := host.Run(30 * delta); err != nil {
+		t.Fatal(err)
+	}
+	if host.MessagesDelivered() != 0 {
+		t.Errorf("%d messages delivered despite a drop-everything network model", host.MessagesDelivered())
+	}
+	if host.MessagesSent() == 0 || host.MessagesDropped() != host.MessagesSent() {
+		t.Errorf("sent %d, dropped %d: every sent message should be dropped",
+			host.MessagesSent(), host.MessagesDropped())
+	}
+}
+
+// envWithoutDelays hides the environment's DelayedSender capability behind a
+// plain runtime.Env, modelling a custom environment that predates network
+// models.
+type envWithoutDelays struct{ runtime.Env }
+
+// TestHostNetworkRequiresDelayedSender pins the assembly-time error: a
+// network model against an environment that cannot apply per-message delays
+// must fail loudly instead of silently ignoring the model.
+func TestHostNetworkRequiresDelayedSender(t *testing.T) {
+	cfg := hostConfig(t, 20)
+	cfg.Network = netmodel.Exponential{Mean: 1.728}
+	if _, err := runtime.NewHost(envWithoutDelays{newSimEnv(t, 20, 1)}, cfg); err == nil {
+		t.Fatal("NewHost accepted a network model on an environment without DelayedSender")
+	}
+	cfg.Network = nil
+	if _, err := runtime.NewHost(envWithoutDelays{newSimEnv(t, 20, 1)}, cfg); err != nil {
+		t.Fatalf("nil network must not require the capability: %v", err)
 	}
 }
 

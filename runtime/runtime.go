@@ -97,6 +97,18 @@ type Env interface {
 	Close() error
 }
 
+// DelayedSender is the optional Env capability behind heterogeneous network
+// models: SendDelayed is Send with an explicit per-message transfer latency
+// (in run-seconds) replacing the environment's fixed delay. The Host samples
+// the delay from Config.Network on its StreamNet stream and hands it here, so
+// the environment stays a pure executor — the discrete-event implementation
+// feeds the delay straight into the engine's per-event delivery slot (no
+// allocation), and the live one maps it onto its message scheduling. NewHost
+// rejects a Config.Network against an Env lacking this capability.
+type DelayedSender interface {
+	SendDelayed(from, to protocol.NodeID, payload protocol.Payload, delay float64)
+}
+
 // Randomness stream indices used by the Host. Environments derive their
 // streams with rng.Derive(seed, stream), so these constants pin down the
 // exact random sequences of a run: node i draws from stream uint64(i), the

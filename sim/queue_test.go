@@ -234,6 +234,97 @@ func TestCalendarQueueSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestCalendarQueueShrinkMatchesSlab exercises the calendar queue's shrink
+// path, which the self-scheduling simulation workloads never reach (their
+// pending population only grows to a high-water mark): repeated grow/drain
+// cycles force the bucket ring through its halving resizes — interleaved
+// with pushes, so redistribution happens on a live mix of old and new days —
+// while every Pop and interleaved Peek is cross-checked against the slab
+// queue. The cycle count and drain ratio are chosen so the ring demonstrably
+// both grows well past the minimum and halves back down multiple times.
+func TestCalendarQueueShrinkMatchesSlab(t *testing.T) {
+	cal := &calendarQueue{}
+	ref := newQueue(QueueSlab)
+	src := rng.New(23)
+	var seq uint64
+	base := 0.0
+	maxBuckets, shrinks, prevBuckets := 0, 0, 0
+
+	observe := func() {
+		if n := len(cal.buckets); n > 0 {
+			if n > maxBuckets {
+				maxBuckets = n
+			}
+			if prevBuckets > 0 && n < prevBuckets {
+				shrinks++
+			}
+			prevBuckets = n
+		}
+	}
+	push := func() {
+		seq++
+		ev := event{time: base + src.Float64()*300, seq: seq, fn: func() {}}
+		if src.Float64() < 0.15 {
+			// Duplicate-time bursts keep the seq tie-break involved in the
+			// redistribution ordering.
+			ev.time = base + float64(src.Intn(20))
+		}
+		cal.Push(ev)
+		ref.Push(ev)
+		observe()
+	}
+	popCompare := func(op string) {
+		want := ref.Pop()
+		got := cal.Pop()
+		observe()
+		if got.time != want.time || got.seq != want.seq {
+			t.Fatalf("%s: Pop diverged: calendar (%v, %d), slab (%v, %d)",
+				op, got.time, got.seq, want.time, want.seq)
+		}
+	}
+
+	for cycle := 0; cycle < 5; cycle++ {
+		// Grow the pending population so the ring doubles repeatedly.
+		for ref.Len() < 3000 {
+			push()
+		}
+		// Drain-heavy phase: mostly pops with pushes sprinkled in, walking
+		// the population down through every halving threshold.
+		for ref.Len() > 8 {
+			if src.Float64() < 0.1 {
+				push()
+				continue
+			}
+			if src.Float64() < 0.1 {
+				w, g := ref.Peek(), cal.Peek()
+				if g.time != w.time || g.seq != w.seq {
+					t.Fatalf("cycle %d: Peek diverged: calendar (%v, %d), slab (%v, %d)",
+						cycle, g.time, g.seq, w.time, w.seq)
+				}
+			}
+			popCompare("drain")
+		}
+		// Advance the time base between cycles so regrowth lands in fresh
+		// calendar days and the width re-estimation sees new gaps.
+		base += 1000
+	}
+	for ref.Len() > 0 {
+		popCompare("final drain")
+	}
+	if cal.Len() != 0 {
+		t.Fatalf("calendar queue still holds %d events", cal.Len())
+	}
+	if maxBuckets < 8*minCalBuckets {
+		t.Errorf("bucket ring only grew to %d buckets; the workload should force repeated doublings", maxBuckets)
+	}
+	if shrinks < 5 {
+		t.Errorf("only %d halving resizes observed; the drain phases should force repeated shrinks", shrinks)
+	}
+	if len(cal.buckets) != minCalBuckets {
+		t.Errorf("drained ring holds %d buckets, want the minimum %d", len(cal.buckets), minCalBuckets)
+	}
+}
+
 // TestParseQueueKind checks the flag-facing name resolution.
 func TestParseQueueKind(t *testing.T) {
 	for name, want := range map[string]QueueKind{

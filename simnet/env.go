@@ -42,8 +42,9 @@ type Env struct {
 }
 
 var (
-	_ runtime.Env      = (*Env)(nil)
-	_ sim.DeliverySink = (*Env)(nil)
+	_ runtime.Env           = (*Env)(nil)
+	_ runtime.DelayedSender = (*Env)(nil)
+	_ sim.DeliverySink      = (*Env)(nil)
 )
 
 // NewEnv builds a discrete-event environment with every node online.
@@ -92,7 +93,17 @@ func (e *Env) Rand(stream uint64) protocol.Rand { return rng.New(rng.Derive(e.se
 // word-encoded payload is never boxed, so the steady-state message path
 // allocates nothing.
 func (e *Env) Send(from, to protocol.NodeID, payload protocol.Payload) {
-	e.engine.ScheduleDelivery(e.transferDelay, sim.Delivery{
+	e.SendDelayed(from, to, payload, e.transferDelay)
+}
+
+// SendDelayed implements runtime.DelayedSender: like Send, but the message
+// travels for the given per-message delay of virtual time instead of the
+// environment's fixed transfer delay. The delivery is still stored inline in
+// the engine's queue — a model-sampled delay costs exactly as much as the
+// constant one, zero allocations. Negative and NaN delays are treated as
+// zero by the engine.
+func (e *Env) SendDelayed(from, to protocol.NodeID, payload protocol.Payload, delay float64) {
+	e.engine.ScheduleDelivery(delay, sim.Delivery{
 		From: int32(from),
 		To:   int32(to),
 		Kind: uint32(payload.Kind),
@@ -122,14 +133,26 @@ func (e *Env) Processed() uint64 { return e.engine.Processed() }
 // N implements runtime.Env.
 func (e *Env) N() int { return len(e.online) }
 
-// Online implements runtime.Env.
-func (e *Env) Online(node int) bool { return e.online[node] }
+// Online implements runtime.Env. Out-of-range node ids report offline
+// instead of panicking, so a stray id from a scenario or trace degrades to a
+// dropped message.
+func (e *Env) Online(node int) bool {
+	return node >= 0 && node < len(e.online) && e.online[node]
+}
 
-// SetOnline implements runtime.Env.
-func (e *Env) SetOnline(node int) { e.online[node] = true }
+// SetOnline implements runtime.Env. Out-of-range node ids are a no-op.
+func (e *Env) SetOnline(node int) {
+	if node >= 0 && node < len(e.online) {
+		e.online[node] = true
+	}
+}
 
-// SetOffline implements runtime.Env.
-func (e *Env) SetOffline(node int) { e.online[node] = false }
+// SetOffline implements runtime.Env. Out-of-range node ids are a no-op.
+func (e *Env) SetOffline(node int) {
+	if node >= 0 && node < len(e.online) {
+		e.online[node] = false
+	}
+}
 
 // Run implements runtime.Env: events execute in (time, seq) order until
 // virtual time reaches the horizon; events past it stay pending.

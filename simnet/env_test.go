@@ -1,0 +1,75 @@
+package simnet
+
+import (
+	"testing"
+
+	"github.com/szte-dcs/tokenaccount/protocol"
+)
+
+// TestEnvLifecycleOutOfRange pins the bounds behaviour of the lifecycle API:
+// a stray node id (from a buggy scenario or an oversized trace) must degrade
+// to "offline, no-op" instead of panicking mid-run.
+func TestEnvLifecycleOutOfRange(t *testing.T) {
+	env, err := NewEnv(EnvConfig{N: 4, Seed: 1, TransferDelay: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range []int{-1, 4, 1 << 20} {
+		if env.Online(node) {
+			t.Errorf("Online(%d) = true for an out-of-range id", node)
+		}
+		env.SetOnline(node)  // must not panic
+		env.SetOffline(node) // must not panic
+		if env.Online(node) {
+			t.Errorf("SetOnline(%d) materialized an out-of-range node", node)
+		}
+	}
+	if !env.Online(0) || !env.Online(3) {
+		t.Error("in-range nodes must stay online")
+	}
+}
+
+// TestEnvSendDelayed checks that the per-message delay of the DelayedSender
+// capability lands the delivery at exactly now+delay of virtual time,
+// independently of the environment's fixed TransferDelay.
+func TestEnvSendDelayed(t *testing.T) {
+	env, err := NewEnv(EnvConfig{N: 2, Seed: 1, TransferDelay: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deliveredAt []float64
+	env.SetDeliver(func(from, to protocol.NodeID, payload protocol.Payload) {
+		deliveredAt = append(deliveredAt, env.Now())
+	})
+	payload := protocol.BoxPayload("m")
+	env.SendDelayed(0, 1, payload, 5)
+	env.SendDelayed(0, 1, payload, 2.5)
+	env.SendDelayed(0, 1, payload, -3) // negative delays clamp to "now"
+	env.Engine().RunUntil(4)
+	if len(deliveredAt) != 2 {
+		t.Fatalf("delivered %d messages before t=4, want 2 (clamped + 2.5s)", len(deliveredAt))
+	}
+	if deliveredAt[0] != 0 || deliveredAt[1] != 2.5 {
+		t.Errorf("deliveries at %v, want [0 2.5]", deliveredAt)
+	}
+	env.Engine().RunUntil(10)
+	if len(deliveredAt) != 3 || deliveredAt[2] != 5 {
+		t.Errorf("deliveries at %v, want third at exactly 5", deliveredAt)
+	}
+}
+
+// TestEnvSendUsesTransferDelay pins that the plain Send path still applies
+// the environment's fixed delay.
+func TestEnvSendUsesTransferDelay(t *testing.T) {
+	env, err := NewEnv(EnvConfig{N: 2, Seed: 1, TransferDelay: 1.728})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var at float64
+	env.SetDeliver(func(protocol.NodeID, protocol.NodeID, protocol.Payload) { at = env.Now() })
+	env.Send(0, 1, protocol.BoxPayload("m"))
+	env.Engine().Run()
+	if at != 1.728 {
+		t.Errorf("delivery at %v, want 1.728", at)
+	}
+}

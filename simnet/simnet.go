@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"github.com/szte-dcs/tokenaccount/core"
+	"github.com/szte-dcs/tokenaccount/netmodel"
 	"github.com/szte-dcs/tokenaccount/overlay"
 	"github.com/szte-dcs/tokenaccount/protocol"
 	"github.com/szte-dcs/tokenaccount/runtime"
@@ -63,6 +64,9 @@ type Config struct {
 	// zero value is the default allocation-free slab heap. Every kind yields
 	// identical event orderings (see sim.QueueKind).
 	Queue sim.QueueKind
+	// Network is the per-message latency/loss model (see runtime.Config):
+	// nil keeps the fixed TransferDelay, reproducing the paper's setup.
+	Network netmodel.Model
 }
 
 // validate checks only the fields the environment consumes before the Host
@@ -111,6 +115,7 @@ func New(cfg Config) (*Network, error) {
 		InitialTokens:   cfg.InitialTokens,
 		AuditNodes:      cfg.AuditNodes,
 		DropProbability: cfg.DropProbability,
+		Network:         cfg.Network,
 	}
 	if cfg.OnRejoin != nil {
 		hostCfg.OnRejoin = func(_ *runtime.Host, node int) { cfg.OnRejoin(net, node) }
