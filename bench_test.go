@@ -285,7 +285,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 
 // benchmarkThroughput runs the steady-state throughput loop on n nodes after
 // warming up for the given number of rounds. cmd/benchreport implements the
-// same harness for its tracked report; comparisons against BENCH_PR4.json
+// same harness for its tracked report; comparisons against BENCH.json
 // must use benchreport, not this benchmark.
 func benchmarkThroughput(b *testing.B, kind sim.QueueKind, n, warmupRounds int) {
 	b.Helper()

@@ -1,21 +1,27 @@
 // Command benchreport runs the paper-figure and simulator benchmarks through
 // testing.Benchmark and emits a machine-readable JSON report with ns/op,
-// allocs/op, bytes/op and events/sec per benchmark. The committed
-// BENCH_PR4.json at the repository root is the report of the PR that
-// introduced the zero-allocation message path; every later PR can diff its
-// own report against it to track the performance trajectory.
+// allocs/op, bytes/op and events/sec per benchmark. The committed BENCH.json
+// at the repository root is the tracked baseline (regenerated whenever a PR
+// moves the needle); every PR can diff its own report against it to track
+// the performance trajectory.
 //
 // Usage:
 //
-//	benchreport                    # full dimensions, writes BENCH_PR4.json
+//	benchreport                    # full dimensions, writes BENCH.json
 //	benchreport -short -out -      # CI dimensions, report to stdout
-//	benchreport -short -check BENCH_PR4.json
+//	benchreport -short -check      # gate against the committed BENCH.json
+//	benchreport -check -baseline OLD.json
 //
 // With -check the exit status is non-zero if any guarded benchmark (the
 // steady-state simulator throughput and the allocation-free scheduler
 // queues) reports more allocs/op than the baseline file — the CI allocation
 // regression gate. Guarded allocation counts are size-independent, so a
-// -short run checks cleanly against a full-size baseline.
+// -short run checks cleanly against a full-size baseline. Benchmarks marked
+// events-guarded (the sharded simulator throughput) additionally gate on
+// events/sec, but only when the run is comparable to the baseline: same
+// mode, same GOMAXPROCS and CPU count, and at least as many schedulable
+// cores as the benchmark has shards — throughput on mismatched hardware says
+// nothing, so mismatches skip the gate with a note instead of failing it.
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"github.com/szte-dcs/tokenaccount/netmodel"
 	"github.com/szte-dcs/tokenaccount/overlay"
 	"github.com/szte-dcs/tokenaccount/protocol"
+	hostrt "github.com/szte-dcs/tokenaccount/runtime"
 	"github.com/szte-dcs/tokenaccount/sim"
 	"github.com/szte-dcs/tokenaccount/simnet"
 
@@ -49,16 +56,28 @@ type BenchResult struct {
 	// throughput where the benchmark can attribute events (0 otherwise).
 	EventsPerOp  float64 `json:"events_per_op,omitempty"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// Shards is the worker shard count of a sharded-engine benchmark
+	// (0 for sequential benchmarks).
+	Shards int `json:"shards,omitempty"`
 	// Guarded marks benchmarks whose allocs/op participate in the -check
 	// regression gate.
 	Guarded bool `json:"guarded,omitempty"`
+	// EventsGuarded marks benchmarks whose events/sec participates in the
+	// -check throughput gate (when the host matches the baseline).
+	EventsGuarded bool `json:"events_guarded,omitempty"`
 }
 
-// Report is the JSON document benchreport emits.
+// Report is the JSON document benchreport emits. GoMaxProcs and NumCPU pin
+// the host the numbers were measured on: events/sec is meaningless across
+// differently-sized machines (a 4-shard run on a single schedulable core
+// measures scheduling overhead, not speedup), so the throughput gate and any
+// human reading the trajectory need them next to the numbers.
 type Report struct {
 	Tool       string        `json:"tool"`
 	GoVersion  string        `json:"go_version"`
 	Mode       string        `json:"mode"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
 	Benchmarks []BenchResult `json:"benchmarks"`
 }
 
@@ -67,9 +86,11 @@ type Report struct {
 // events through b.ReportMetric("events/op") so main can read them back from
 // BenchmarkResult.Extra.
 type spec struct {
-	name    string
-	guarded bool
-	bench   func(short bool) func(b *testing.B)
+	name          string
+	guarded       bool
+	eventsGuarded bool
+	shards        int
+	bench         func(short bool) func(b *testing.B)
 }
 
 func main() {
@@ -80,36 +101,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		out      = fs.String("out", "BENCH_PR4.json", "report destination (- for stdout)")
-		short    = fs.Bool("short", false, "reduced benchmark dimensions (CI mode)")
-		check    = fs.String("check", "", "baseline report; fail if a guarded benchmark's allocs/op regresses above it")
-		quiet    = fs.Bool("q", false, "suppress per-benchmark progress on stderr")
-		baseline *Report
+		out          = fs.String("out", "BENCH.json", "report destination (- for stdout)")
+		short        = fs.Bool("short", false, "reduced benchmark dimensions (CI mode)")
+		check        = fs.Bool("check", false, "fail if a guarded benchmark regresses against the -baseline report")
+		baselinePath = fs.String("baseline", "BENCH.json", "baseline report for -check")
+		quiet        = fs.Bool("q", false, "suppress per-benchmark progress on stderr")
+		baseline     *Report
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *check != "" {
+	if *check {
 		var err error
-		baseline, err = readReport(*check)
+		baseline, err = readReport(*baselinePath)
 		if err != nil {
 			fmt.Fprintln(stderr, "benchreport:", err)
 			return 2
 		}
 	}
-	report := Report{Tool: "benchreport", GoVersion: runtime.Version(), Mode: mode(*short)}
+	report := Report{
+		Tool:       "benchreport",
+		GoVersion:  runtime.Version(),
+		Mode:       mode(*short),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
 	for _, s := range specs() {
 		if !*quiet {
 			fmt.Fprintf(stderr, "benchreport: running %s...\n", s.name)
 		}
 		r := testing.Benchmark(s.bench(*short))
 		br := BenchResult{
-			Name:        s.name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			Guarded:     s.guarded,
+			Name:          s.name,
+			Iterations:    r.N,
+			NsPerOp:       float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp:   r.AllocsPerOp(),
+			BytesPerOp:    r.AllocedBytesPerOp(),
+			Shards:        s.shards,
+			Guarded:       s.guarded,
+			EventsGuarded: s.eventsGuarded,
 		}
 		if ev, ok := r.Extra["events/op"]; ok && br.NsPerOp > 0 {
 			br.EventsPerOp = ev
@@ -122,10 +152,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if baseline != nil {
-		if regressed := checkAllocs(report, *baseline, stderr); regressed {
+		regressed := checkAllocs(report, *baseline, stderr)
+		if checkEvents(report, *baseline, stderr) {
+			regressed = true
+		}
+		if regressed {
 			return 1
 		}
-		fmt.Fprintln(stderr, "benchreport: guarded allocs/op within baseline")
+		fmt.Fprintln(stderr, "benchreport: guarded benchmarks within baseline")
 	}
 	return 0
 }
@@ -191,9 +225,59 @@ func checkAllocs(current, baseline Report, stderr io.Writer) bool {
 	return regressed
 }
 
+// eventsTolerance is the fraction of baseline events/sec an events-guarded
+// benchmark may drop to before -check fails. Generous, because throughput is
+// far noisier than allocation counts even on identical hardware.
+const eventsTolerance = 0.5
+
+// checkEvents compares events-guarded benchmarks' events/sec against the
+// baseline and reports whether any regressed below the tolerance. The
+// comparison only means anything between comparable runs, so the gate skips
+// — with a note, never a failure — when the mode or the host differs from
+// the baseline, or when a benchmark has more shards than schedulable cores
+// (it would measure scheduling overhead, not throughput).
+func checkEvents(current, baseline Report, stderr io.Writer) bool {
+	if current.Mode != baseline.Mode {
+		fmt.Fprintf(stderr, "benchreport: events/sec gate skipped: mode %s vs baseline %s\n", current.Mode, baseline.Mode)
+		return false
+	}
+	if current.GoMaxProcs != baseline.GoMaxProcs || current.NumCPU != baseline.NumCPU {
+		fmt.Fprintf(stderr, "benchreport: events/sec gate skipped: host mismatch (GOMAXPROCS %d vs %d, NumCPU %d vs %d)\n",
+			current.GoMaxProcs, baseline.GoMaxProcs, current.NumCPU, baseline.NumCPU)
+		return false
+	}
+	base := map[string]BenchResult{}
+	for _, b := range baseline.Benchmarks {
+		if b.EventsGuarded {
+			base[b.Name] = b
+		}
+	}
+	regressed := false
+	for _, b := range current.Benchmarks {
+		if !b.EventsGuarded {
+			continue
+		}
+		ref, ok := base[b.Name]
+		if !ok || ref.EventsPerSec <= 0 {
+			continue
+		}
+		if b.Shards > current.GoMaxProcs {
+			fmt.Fprintf(stderr, "benchreport: events/sec gate skipped for %s: %d shards > GOMAXPROCS %d\n",
+				b.Name, b.Shards, current.GoMaxProcs)
+			continue
+		}
+		if b.EventsPerSec < eventsTolerance*ref.EventsPerSec {
+			fmt.Fprintf(stderr, "benchreport: THROUGHPUT REGRESSION: %s reports %.3g events/sec, baseline %.3g (tolerance %.0f%%)\n",
+				b.Name, b.EventsPerSec, ref.EventsPerSec, eventsTolerance*100)
+			regressed = true
+		}
+	}
+	return regressed
+}
+
 // specs returns the benchmark set: the Figure 2–5 reproductions, the
-// steady-state simulator throughput, and the scheduler queue micro-benchmark
-// for every queue kind.
+// steady-state simulator throughput (sequential and sharded), and the
+// scheduler queue micro-benchmark for every queue kind.
 func specs() []spec {
 	figures := []struct {
 		name string
@@ -276,6 +360,26 @@ func specs() []spec {
 			},
 		})
 	}
+	// The sharded engine on a Figure 4/5-style zoned workload: identical
+	// model and scale across shard counts, so the entries read directly as a
+	// speedup column. shards=1 routes through the sequential engine and
+	// anchors the comparison. Guarded on events/sec (the throughput these
+	// shards exist to buy), gated only on hosts comparable to the baseline —
+	// see checkEvents. Not alloc-guarded: at 10^6 nodes the calendar queue's
+	// per-bucket arrays keep finding new high-water marks for a long tail of
+	// operations (amortized growth, by design), so an exact zero is not a
+	// stable property at this scale; the allocation-free guarantee of the
+	// cross-shard delivery path itself is pinned exactly by the
+	// AllocsPerRun = 0 tests in the sim package.
+	for _, shards := range []int{1, 2, 4} {
+		shards := shards
+		out = append(out, spec{
+			name:          fmt.Sprintf("SimulatorThroughputSharded/shards=%d", shards),
+			eventsGuarded: true,
+			shards:        shards,
+			bench:         func(short bool) func(*testing.B) { return shardedThroughputBench(shards, short) },
+		})
+	}
 	for _, kind := range []sim.QueueKind{sim.QueueSlab, sim.QueueHeap, sim.QueueCalendar} {
 		kind := kind
 		out = append(out, spec{
@@ -349,6 +453,82 @@ func throughputBench(kind sim.QueueKind, network netmodel.Model, short bool) fun
 		}
 		b.StopTimer()
 		b.ReportMetric(float64(net.Engine().Processed()-start)/float64(b.N), "events/op")
+	}
+}
+
+// shardedThroughputBench measures the steady-state message path of the
+// sharded engine on the zoned-WAN workload: a large zoned network
+// (Figure 4/5 scale in full mode), the gossip-learning walker under the
+// paper's randomized strategy, shard boundaries aligned with zone boundaries
+// so the lookahead is the full inter-zone latency. One op advances virtual
+// time by one proactive period; events/op counts every executed event across
+// shards and coordinator. shards=1 runs the identical workload on the
+// sequential engine, so the shards=N / shards=1 events/sec ratio is the
+// single-run speedup. Assembly and warm-up happen outside the timed region.
+// Short mode warms up long enough for the calendar queue to reach its
+// high-water mark (allocs/op settles to 0); full mode keeps the warm-up
+// short because at 10^6 nodes each proactive period costs seconds of wall
+// clock, and the exact zero-allocation guarantee of the cross-shard path is
+// pinned by the sim package's AllocsPerRun tests, not by this entry.
+func shardedThroughputBench(shards int, short bool) func(b *testing.B) {
+	n, warmup := 1_000_000, 10
+	if short {
+		n, warmup = 2000, 200
+	}
+	model := netmodel.Zones{K: 8, Intra: 0.5, Inter: 3}
+	return func(b *testing.B) {
+		const delta = 172.8
+		g, err := overlay.RandomKOut(n, 20, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var env interface {
+			hostrt.Env
+			Processed() uint64
+		}
+		if shards <= 1 {
+			env, err = simnet.NewEnv(simnet.EnvConfig{N: n, Seed: 1, TransferDelay: 1.728, Queue: sim.QueueCalendar})
+		} else {
+			var shardOf []int32
+			var lookahead float64
+			shardOf, lookahead, err = netmodel.PlanShards(model, 1.728, n, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			env, err = simnet.NewShardedEnv(simnet.ShardedEnvConfig{
+				N: n, Seed: 1, TransferDelay: 1.728, Queue: sim.QueueCalendar,
+				Shards: shards, ShardOf: shardOf, Lookahead: lookahead,
+			})
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer env.Close()
+		_, err = hostrt.NewHost(env, hostrt.Config{
+			Graph:    g,
+			Strategy: func(int) core.Strategy { return core.MustRandomized(5, 10) },
+			NewApp:   func(int) protocol.Application { return gossiplearning.NewWalker() },
+			Delta:    delta,
+			Network:  model,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		horizon := float64(warmup) * delta
+		if err := env.Run(horizon); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := env.Processed()
+		for i := 0; i < b.N; i++ {
+			horizon += delta
+			if err := env.Run(horizon); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(env.Processed()-start)/float64(b.N), "events/op")
 	}
 }
 

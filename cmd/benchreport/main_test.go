@@ -61,17 +61,27 @@ func TestReportRoundTrip(t *testing.T) {
 	}
 }
 
-// TestCommittedBaselineParses keeps the repository-root BENCH_PR4.json
-// loadable by the -check gate and its guarded guarantees intact: the
-// steady-state throughput and the allocation-free queues must be pinned at
-// 0 allocs/op.
+// TestCommittedBaselineParses keeps the repository-root BENCH.json loadable
+// by the -check gate and its guarded guarantees intact: the alloc-guarded
+// entries must be pinned at 0 allocs/op, the sharded entries must carry
+// their shard counts and throughput guard, and the host metadata the
+// throughput gate keys on must be present.
 func TestCommittedBaselineParses(t *testing.T) {
-	r, err := readReport(filepath.Join("..", "..", "BENCH_PR4.json"))
+	r, err := readReport(filepath.Join("..", "..", "BENCH.json"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	guarded := 0
+	if r.GoMaxProcs < 1 || r.NumCPU < 1 {
+		t.Errorf("baseline host metadata missing: GOMAXPROCS=%d, NumCPU=%d", r.GoMaxProcs, r.NumCPU)
+	}
+	guarded, sharded := 0, 0
 	for _, b := range r.Benchmarks {
+		if strings.HasPrefix(b.Name, "SimulatorThroughputSharded/") {
+			sharded++
+			if b.Shards < 1 || !b.EventsGuarded || b.EventsPerSec <= 0 {
+				t.Errorf("sharded entry %s: shards=%d, events_guarded=%v, events_per_sec=%g", b.Name, b.Shards, b.EventsGuarded, b.EventsPerSec)
+			}
+		}
 		if !b.Guarded {
 			continue
 		}
@@ -80,8 +90,61 @@ func TestCommittedBaselineParses(t *testing.T) {
 			t.Errorf("guarded benchmark %s committed with %d allocs/op", b.Name, b.AllocsPerOp)
 		}
 	}
-	if guarded < 4 {
-		t.Errorf("only %d guarded benchmarks in the committed baseline, want ≥ 4", guarded)
+	if guarded < 6 {
+		t.Errorf("only %d guarded benchmarks in the committed baseline, want ≥ 6", guarded)
+	}
+	if sharded < 3 {
+		t.Errorf("only %d sharded throughput entries in the committed baseline, want ≥ 3", sharded)
+	}
+}
+
+// TestCheckEvents covers the throughput gate's comparability rules: it only
+// fails on a like-for-like regression and skips mismatched modes, hosts and
+// oversubscribed shard counts.
+func TestCheckEvents(t *testing.T) {
+	host := func(mode string, procs int) Report {
+		return Report{Mode: mode, GoMaxProcs: procs, NumCPU: procs}
+	}
+	bench := func(name string, shards int, evs float64) BenchResult {
+		return BenchResult{Name: name, Shards: shards, EventsPerSec: evs, EventsGuarded: true}
+	}
+	baseline := host("full", 4)
+	baseline.Benchmarks = []BenchResult{
+		bench("SimulatorThroughputSharded/shards=4", 4, 1e7),
+		{Name: "Fig2PushGossip", EventsPerSec: 1e7}, // not events-guarded: never gates
+	}
+	cases := []struct {
+		name      string
+		current   Report
+		extra     []BenchResult
+		regressed bool
+	}{
+		{"clean", host("full", 4), []BenchResult{bench("SimulatorThroughputSharded/shards=4", 4, 0.9e7)}, false},
+		{"within tolerance", host("full", 4), []BenchResult{bench("SimulatorThroughputSharded/shards=4", 4, 0.6e7)}, false},
+		{"regression", host("full", 4), []BenchResult{bench("SimulatorThroughputSharded/shards=4", 4, 0.4e7)}, true},
+		{"mode mismatch skips", host("short", 4), []BenchResult{bench("SimulatorThroughputSharded/shards=4", 4, 1)}, false},
+		{"host mismatch skips", host("full", 2), []BenchResult{bench("SimulatorThroughputSharded/shards=4", 4, 1)}, false},
+		{"unguarded never gates", host("full", 4), []BenchResult{{Name: "Fig2PushGossip", EventsPerSec: 1}}, false},
+		{"new benchmark skipped", host("full", 4), []BenchResult{bench("Brand/new", 2, 1)}, false},
+	}
+	// Oversubscription: shards beyond GOMAXPROCS never gate even when slow,
+	// exercised with a baseline claiming the same 1-core host.
+	oneCore := host("full", 1)
+	oneCore.Benchmarks = baseline.Benchmarks
+	var buf strings.Builder
+	slow := host("full", 1)
+	slow.Benchmarks = []BenchResult{bench("SimulatorThroughputSharded/shards=4", 4, 1)}
+	if checkEvents(slow, oneCore, &buf) {
+		t.Errorf("oversubscribed shard count gated: %s", buf.String())
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf strings.Builder
+			tc.current.Benchmarks = tc.extra
+			if got := checkEvents(tc.current, baseline, &buf); got != tc.regressed {
+				t.Errorf("checkEvents = %v, want %v (output: %s)", got, tc.regressed, buf.String())
+			}
+		})
 	}
 }
 
@@ -99,7 +162,7 @@ func TestRunBadFlags(t *testing.T) {
 	if code := run([]string{"-badflag"}, &out, &errb); code != 2 {
 		t.Errorf("bad flag exit = %d, want 2", code)
 	}
-	if code := run([]string{"-check", filepath.Join(t.TempDir(), "nope.json")}, &out, &errb); code != 2 {
+	if code := run([]string{"-check", "-baseline", filepath.Join(t.TempDir(), "nope.json")}, &out, &errb); code != 2 {
 		t.Errorf("missing baseline exit = %d, want 2", code)
 	}
 }

@@ -43,6 +43,7 @@ func run(args []string, w io.Writer) error {
 		runtimeName  = fs.String("runtime", "sim", "execution runtime (live takes :timescale, e.g. live:0.001): "+strings.Join(experiment.Runtimes(), ", "))
 		networkName  = fs.String("network", "constant", "network latency/loss model (with :params, e.g. exponential:1.728, zones:4:0.5:3, lossy:0.01:uniform:1:2): "+strings.Join(experiment.Networks(), ", "))
 		queueName    = fs.String("queue", "", "event queue of the sim runtime: slab, heap, calendar (defaults to the runtime's choice, calendar); all produce identical output")
+		shards       = fs.Int("shards", 0, "parallel worker shards of the sim runtime (1 = the sequential engine; >1 needs a network model with a positive minimum cross-shard delay, e.g. zones)")
 		n            = fs.Int("n", 1000, "number of nodes")
 		rounds       = fs.Int("rounds", 200, "number of proactive periods")
 		reps         = fs.Int("reps", 1, "independent repetitions to average")
@@ -75,18 +76,25 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if *queueName != "" {
+	if *queueName != "" || *shards != 0 {
 		// Reject both non-sim runtimes and runtime specs that already carry
-		// their own parameter (e.g. sim:slab), so -queue never silently
-		// overrides an explicit choice.
+		// their own parameters (e.g. sim:slab, sim:shards=4), so -queue and
+		// -shards never silently override an explicit choice.
 		if !experiment.IsDefaultRuntime(rt) || strings.Contains(*runtimeName, ":") {
-			return fmt.Errorf("-queue applies to the plain sim runtime only (got -runtime %s)", *runtimeName)
+			return fmt.Errorf("-queue and -shards apply to the plain sim runtime only (got -runtime %s)", *runtimeName)
 		}
-		kind, err := sim.ParseQueueKind(*queueName)
-		if err != nil {
-			return err
+		if *shards < 0 {
+			return fmt.Errorf("-shards = %d, want ≥ 1", *shards)
 		}
-		rt = experiment.SimRuntimeWithQueue(kind)
+		kind := sim.QueueCalendar
+		if *queueName != "" {
+			var err error
+			kind, err = sim.ParseQueueKind(*queueName)
+			if err != nil {
+				return err
+			}
+		}
+		rt = experiment.SimRuntimeWithOptions(kind, *shards)
 	}
 	cfg := experiment.Config{
 		App:            app,

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenConfigs returns the tokensim arguments of every golden-matrix and
+// golden-network configuration, keyed by a display name. It is the shared
+// config inventory of the sharded equivalence tests.
+func goldenConfigs(t *testing.T) map[string][]string {
+	t.Helper()
+	configs := make(map[string][]string)
+	files, err := filepath.Glob(filepath.Join("testdata", "golden", "*.tsv"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no golden files found: %v", err)
+	}
+	for _, file := range files {
+		name := strings.TrimSuffix(filepath.Base(file), ".tsv")
+		parts := strings.SplitN(name, "_", 3)
+		if len(parts) != 3 {
+			t.Fatalf("golden file %q does not parse as app_strategy_scenario", name)
+		}
+		strategy := strings.NewReplacer("randomized-5-10", "randomized:5:10").Replace(parts[1])
+		scenario := strings.NewReplacer("crash-burst-0.4", "crash-burst:0.4").Replace(parts[2])
+		configs[name] = []string{"-app", parts[0], "-strategy", strategy, "-scenario", scenario}
+	}
+	for name, args := range goldenNetworkCases {
+		configs["network_"+name] = append([]string{}, args...)
+	}
+	return configs
+}
+
+// shardable reports whether a config supports conservative sharding: the
+// exponential model's minimum delay is zero, so it has no positive lookahead.
+func shardable(args []string) bool {
+	for _, a := range args {
+		if strings.HasPrefix(a, "exponential:") {
+			return false
+		}
+	}
+	return true
+}
+
+func runGolden(t *testing.T, args []string, extra ...string) string {
+	t.Helper()
+	var out strings.Builder
+	full := append(append([]string{}, args...), "-n", "60", "-rounds", "20", "-reps", "2", "-seed", "7", "-tokens")
+	full = append(full, extra...)
+	if err := run(full, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+// TestShardsOneByteIdentity requires -shards 1 to reproduce every golden
+// configuration byte-for-byte: a single shard must route through the exact
+// sequential engine, making sharding a pure opt-in.
+func TestShardsOneByteIdentity(t *testing.T) {
+	for name, args := range goldenConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			dir, file := "golden", name
+			if rest, ok := strings.CutPrefix(name, "network_"); ok {
+				dir, file = "golden-network", rest
+			}
+			want, err := os.ReadFile(filepath.Join("testdata", dir, file+".tsv"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := runGolden(t, args, "-shards", "1"); got != string(want) {
+				t.Errorf("-shards 1 output diverged from golden file %s/%s", dir, file)
+			}
+		})
+	}
+}
+
+// TestShardedSelfDeterminism requires every shardable golden configuration to
+// be run-to-run deterministic for shards ∈ {2, 4, 8}: the parallel schedule
+// must depend only on (seed, shard count), never on goroutine timing. The
+// shard count appears in the output label, so the comparison is strictly
+// within one shard count.
+func TestShardedSelfDeterminism(t *testing.T) {
+	for name, args := range goldenConfigs(t) {
+		if !shardable(args) {
+			continue
+		}
+		for _, shards := range []string{"2", "4", "8"} {
+			t.Run(name+"/shards="+shards, func(t *testing.T) {
+				a := runGolden(t, args, "-shards", shards)
+				b := runGolden(t, args, "-shards", shards)
+				if a != b {
+					t.Errorf("two identical sharded runs diverged (shards=%s)", shards)
+				}
+				if !strings.Contains(a, "shards="+shards) {
+					t.Errorf("sharded run label does not carry the shard count:\n%s", strings.SplitN(a, "\n", 2)[0])
+				}
+			})
+		}
+	}
+}
+
+// TestShardedErrors covers the sharded flag and spec error paths.
+func TestShardedErrors(t *testing.T) {
+	cases := [][]string{
+		{"-shards", "-1"},
+		{"-shards", "2", "-network", "exponential:1.728"}, // no positive lookahead
+		{"-shards", "2", "-runtime", "live:0.001"},
+		{"-shards", "2", "-runtime", "sim:shards=4"}, // conflicting explicit choices
+		{"-runtime", "sim:shards=0"},
+		{"-runtime", "sim:shards=x"},
+		{"-runtime", "sim:shards=2:shards=4"},
+		{"-runtime", "sim:slab:heap"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestShardedRuntimeSpec exercises the "sim:queue:shards=N" spec form end to
+// end, including its label.
+func TestShardedRuntimeSpec(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-app", "push-gossip",
+		"-strategy", "randomized:5:10",
+		"-network", "zones:4:0.5:3",
+		"-runtime", "sim:slab:shards=2",
+		"-n", "60",
+		"-rounds", "20",
+		"-summary",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "sim(queue=slab,shards=2)") {
+		t.Errorf("label does not mention the sharded runtime:\n%s", got)
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"strings"
 
 	"github.com/szte-dcs/tokenaccount/live"
+	"github.com/szte-dcs/tokenaccount/netmodel"
 	"github.com/szte-dcs/tokenaccount/runtime"
 	"github.com/szte-dcs/tokenaccount/sim"
 	"github.com/szte-dcs/tokenaccount/simnet"
@@ -33,9 +35,17 @@ var (
 // IsDefaultRuntime reports whether d is (an instance of) the default
 // simulated runtime, whose label the output formats suppress so simulated
 // output keeps its historical form. A nil driver counts as default, since
-// WithDefaults resolves nil to SimRuntime.
+// WithDefaults resolves nil to SimRuntime. A sharded simulated runtime
+// (shards > 1) does not count: its event interleaving — while deterministic —
+// differs from the sequential engine's, so its label must stay visible.
 func IsDefaultRuntime(d RuntimeDriver) bool {
-	return d == nil || d.Name() == SimRuntime.Name()
+	if d == nil {
+		return true
+	}
+	if s, ok := d.(simRuntime); ok {
+		return s.shards <= 1
+	}
+	return d.Name() == SimRuntime.Name()
 }
 
 // DefaultLiveTimeScale is the time compression of the "live" runtime when no
@@ -45,20 +55,38 @@ func IsDefaultRuntime(d RuntimeDriver) bool {
 const DefaultLiveTimeScale = 1e-4
 
 func init() {
-	MustRegisterRuntime("sim", func(args []string) (RuntimeDriver, error) {
-		if len(args) > 1 {
-			return nil, fmt.Errorf("experiment: unexpected trailing parameter(s) %v (want sim[:queue])", args[1:])
-		}
-		if len(args) == 1 {
-			kind, err := sim.ParseQueueKind(args[0])
-			if err != nil {
-				return nil, fmt.Errorf("experiment: %w", err)
-			}
-			return simRuntime{queue: kind}, nil
-		}
-		return SimRuntime, nil
-	}, "simnet", "virtual")
+	MustRegisterRuntime("sim", simRuntimeFactory, "simnet", "virtual")
 	MustRegisterRuntime("live", liveRuntimeFactory, "real", "wall")
+}
+
+// simRuntimeFactory parses "sim[:queue][:shards=N]" specs such as
+// "sim:calendar", "sim:shards=4" or "sim:slab:shards=2".
+func simRuntimeFactory(args []string) (RuntimeDriver, error) {
+	r := SimRuntime.(simRuntime)
+	sawQueue := false
+	for _, arg := range args {
+		if n, ok := strings.CutPrefix(arg, "shards="); ok {
+			shards, err := strconv.Atoi(n)
+			if err != nil || shards < 1 {
+				return nil, fmt.Errorf("experiment: bad shard count %q (want a positive integer)", n)
+			}
+			if r.shards != 0 {
+				return nil, fmt.Errorf("experiment: duplicate shards parameter %q", arg)
+			}
+			r.shards = shards
+			continue
+		}
+		if sawQueue {
+			return nil, fmt.Errorf("experiment: unexpected parameter %q (want sim[:queue][:shards=N])", arg)
+		}
+		kind, err := sim.ParseQueueKind(arg)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %w", err)
+		}
+		r.queue = kind
+		sawQueue = true
+	}
+	return r, nil
 }
 
 // SimRuntimeWithQueue returns the discrete-event runtime backed by the given
@@ -68,31 +96,68 @@ func init() {
 // driver.
 func SimRuntimeWithQueue(kind sim.QueueKind) RuntimeDriver { return simRuntime{queue: kind} }
 
+// SimRuntimeWithOptions returns the discrete-event runtime backed by the
+// given event queue and shard count. Shards ≤ 1 selects the sequential
+// engine; shards > 1 partitions every repetition's node space across that
+// many parallel worker shards under the conservative time-window protocol
+// (see sim.ShardedEngine). The sharded runtime requires a network model with
+// a positive minimum cross-shard delay — NewEnv rejects configurations
+// without one (see netmodel.PlanShards). The spec form "sim:shards=4" parses
+// to the same driver.
+func SimRuntimeWithOptions(kind sim.QueueKind, shards int) RuntimeDriver {
+	return simRuntime{queue: kind, shards: shards}
+}
+
 // simRuntime is the discrete-event RuntimeDriver. The zero value uses the
 // engine's default event queue; SimRuntime overrides it with the calendar
-// queue.
+// queue. shards ≤ 1 (the default) runs the sequential engine.
 type simRuntime struct {
-	queue sim.QueueKind
+	queue  sim.QueueKind
+	shards int
 }
 
 func (simRuntime) Name() string { return "sim" }
 
-// String renders non-default instances with their queue kind for debugging;
-// experiment labels never include it, because every sim queue produces
-// identical output (IsDefaultRuntime matches on Name).
+// String renders non-default instances with their queue kind and shard count
+// for debugging and experiment labels; sharded instances must stay
+// distinguishable because their event interleaving differs from the
+// sequential engine's (see IsDefaultRuntime).
 func (d simRuntime) String() string {
-	if RuntimeDriver(d) == SimRuntime {
+	switch {
+	case RuntimeDriver(d) == SimRuntime:
 		return d.Name()
+	case d.shards > 1:
+		return fmt.Sprintf("sim(queue=%s,shards=%d)", d.queue, d.shards)
+	default:
+		return fmt.Sprintf("sim(queue=%s)", d.queue)
 	}
-	return fmt.Sprintf("sim(queue=%s)", d.queue)
 }
 
 func (d simRuntime) NewEnv(cfg Config, seed uint64) (runtime.Env, error) {
-	return simnet.NewEnv(simnet.EnvConfig{
+	if d.shards <= 1 {
+		return simnet.NewEnv(simnet.EnvConfig{
+			N:             cfg.N,
+			Seed:          seed,
+			TransferDelay: cfg.TransferDelay,
+			Queue:         d.queue,
+		})
+	}
+	model, err := networkModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	shardOf, lookahead, err := netmodel.PlanShards(model, cfg.TransferDelay, cfg.N, d.shards)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	return simnet.NewShardedEnv(simnet.ShardedEnvConfig{
 		N:             cfg.N,
 		Seed:          seed,
 		TransferDelay: cfg.TransferDelay,
 		Queue:         d.queue,
+		Shards:        d.shards,
+		ShardOf:       shardOf,
+		Lookahead:     lookahead,
 	})
 }
 

@@ -45,6 +45,42 @@ func (a *Accumulator) Add(s *Series) error {
 // Runs returns the number of series folded in so far.
 func (a *Accumulator) Runs() int { return a.runs }
 
+// Merge folds every run accumulated in o into a, preserving order: the
+// result corresponds to o's series following a's own, with the sums adding
+// pointwise and the run counts adding. It lets shard- or worker-local
+// accumulators collect series independently and combine at a synchronization
+// point without retaining the series themselves. Relative to adding all
+// series into one accumulator sequentially, the only difference is
+// floating-point reassociation (partial sums per accumulator instead of one
+// running sum), so for a fixed partition of runs the result is
+// deterministic. An empty o is a no-op; merging into an empty a adopts o's
+// grid and sums bit-for-bit. Both accumulators must agree on the sampling
+// grid (same tolerance as Add). o is not modified.
+func (a *Accumulator) Merge(o *Accumulator) error {
+	if o.runs == 0 {
+		return nil
+	}
+	if a.runs == 0 {
+		a.times = append(a.times[:0], o.times...)
+		a.sums = append(a.sums[:0], o.sums...)
+		a.runs = o.runs
+		return nil
+	}
+	if len(o.times) != len(a.times) {
+		return fmt.Errorf("metrics: merging accumulator with %d samples, expected %d", len(o.times), len(a.times))
+	}
+	for i, t := range o.times {
+		if math.Abs(t-a.times[i]) > 1e-9 {
+			return fmt.Errorf("metrics: merging sample %d at time %v, expected %v", i, t, a.times[i])
+		}
+	}
+	for i, s := range o.sums {
+		a.sums[i] += s
+	}
+	a.runs += o.runs
+	return nil
+}
+
 // Mean returns the pointwise mean of the added series. It errors if nothing
 // has been added.
 func (a *Accumulator) Mean() (*Series, error) {

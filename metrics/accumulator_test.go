@@ -78,3 +78,162 @@ func TestAccumulatorRejectsMismatchedGrids(t *testing.T) {
 		t.Fatalf("after rejected adds: runs = %d, mean[1] = %v", acc.Runs(), got.Values[1])
 	}
 }
+
+// randomSeries builds reproducible series for the merge property tests.
+func randomSeries(src *rng.Source, n, samples int) []*Series {
+	runs := make([]*Series, n)
+	for r := range runs {
+		s := &Series{}
+		for i := 0; i < samples; i++ {
+			s.Add(float64(i)*0.25, src.NormFloat64()*1e3)
+		}
+		runs[r] = s
+	}
+	return runs
+}
+
+// TestAccumulatorMerge is the property suite of Merge against a sequential
+// accumulator: over randomized series and partitions, run counts add, the
+// merged mean matches the sequential mean within floating-point
+// reassociation error, merging into an empty accumulator is bit-exact, and
+// repeating the same partitioned merge reproduces the result bit-for-bit.
+func TestAccumulatorMerge(t *testing.T) {
+	src := rng.New(23)
+	for trial := 0; trial < 25; trial++ {
+		total := 2 + src.Intn(9)
+		runs := randomSeries(src, total, 40)
+		cut := 1 + src.Intn(total-1)
+
+		var seq Accumulator
+		for _, r := range runs {
+			if err := seq.Add(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		wantMean, err := seq.Mean()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		merge := func() *Accumulator {
+			var left, right Accumulator
+			for _, r := range runs[:cut] {
+				if err := left.Add(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, r := range runs[cut:] {
+				if err := right.Add(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := left.Merge(&right); err != nil {
+				t.Fatal(err)
+			}
+			return &left
+		}
+
+		got := merge()
+		if got.Runs() != total {
+			t.Fatalf("trial %d: merged Runs() = %d, want %d", trial, got.Runs(), total)
+		}
+		gotMean, err := got.Mean()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotMean.Times, wantMean.Times) {
+			t.Fatalf("trial %d: merged grid differs from sequential", trial)
+		}
+		for i := range gotMean.Values {
+			diff := gotMean.Values[i] - wantMean.Values[i]
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 1e-9 {
+				t.Fatalf("trial %d: merged mean[%d] = %v, sequential %v", trial, i, gotMean.Values[i], wantMean.Values[i])
+			}
+		}
+
+		// Determinism: the same partitioned merge must reproduce the result
+		// bit-for-bit.
+		again, err := merge().Mean()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(again.Values, gotMean.Values) {
+			t.Fatalf("trial %d: repeated merge differs", trial)
+		}
+	}
+}
+
+// TestAccumulatorMergeIntoEmpty requires merging into an empty accumulator to
+// adopt the argument's state bit-for-bit, and an empty argument to be a
+// no-op.
+func TestAccumulatorMergeIntoEmpty(t *testing.T) {
+	src := rng.New(31)
+	runs := randomSeries(src, 4, 20)
+	var full Accumulator
+	for _, r := range runs {
+		if err := full.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantMean, _ := full.Mean()
+
+	var empty Accumulator
+	if err := empty.Merge(&full); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Runs() != full.Runs() {
+		t.Fatalf("Runs() = %d, want %d", empty.Runs(), full.Runs())
+	}
+	gotMean, err := empty.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotMean.Values, wantMean.Values) {
+		t.Fatal("merge into empty accumulator is not bit-exact")
+	}
+
+	// An empty argument must change nothing, and the merged copy must not
+	// alias the source sums.
+	var noop Accumulator
+	if err := full.Merge(&noop); err != nil {
+		t.Fatal(err)
+	}
+	if full.Runs() != len(runs) {
+		t.Fatalf("after empty merge: Runs() = %d, want %d", full.Runs(), len(runs))
+	}
+	empty.sums[0] += 1e6
+	if full.sums[0] == empty.sums[0] {
+		t.Fatal("merged accumulator aliases the source sums")
+	}
+}
+
+// TestAccumulatorMergeRejectsMismatchedGrids mirrors the Add grid checks for
+// Merge and requires failed merges to leave the receiver intact.
+func TestAccumulatorMergeRejectsMismatchedGrids(t *testing.T) {
+	base := &Series{Times: []float64{0, 1, 2}, Values: []float64{1, 2, 3}}
+	short := &Series{Times: []float64{0, 1}, Values: []float64{1, 2}}
+	shifted := &Series{Times: []float64{0, 1.5, 2}, Values: []float64{1, 2, 3}}
+
+	var acc, wrongLen, wrongGrid Accumulator
+	if err := acc.Add(base); err != nil {
+		t.Fatal(err)
+	}
+	if err := wrongLen.Add(short); err != nil {
+		t.Fatal(err)
+	}
+	if err := wrongGrid.Add(shifted); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Merge(&wrongLen); err == nil || !strings.Contains(err.Error(), "samples") {
+		t.Fatalf("length mismatch: err = %v", err)
+	}
+	if err := acc.Merge(&wrongGrid); err == nil || !strings.Contains(err.Error(), "expected") {
+		t.Fatalf("grid mismatch: err = %v", err)
+	}
+	if acc.Runs() != 1 {
+		t.Fatalf("failed merges corrupted the receiver: Runs() = %d", acc.Runs())
+	}
+}

@@ -85,23 +85,36 @@ func (c Config) validate() error {
 // scheduled on the Env the Host was built against. Like the protocol nodes
 // themselves, a Host is not safe for concurrent use: all interaction happens
 // on the environment's dispatch goroutine (the caller's goroutine for the
-// simulated environment, the run loop for the live one).
+// simulated environment, the run loop for the live one). On a Sharded
+// environment the Host partitions its per-message state — network randomness
+// streams and counters — by shard, so the shard workers the environment runs
+// internally never contend; external interaction remains single-goroutine.
 type Host struct {
 	cfg   Config
 	env   Env
 	nodes []*protocol.Node
 	apps  []protocol.Application
 
+	// netRNG is the coordinator's StreamNet stream: random node and
+	// neighbour selection, and — in unsharded runs — every per-message draw.
 	netRNG protocol.Rand
+
+	// sharded, shardOfNode, netRNGs and counts carry the per-shard state of
+	// a run on a Sharded environment. Messages draw loss and latency
+	// randomness from the stream of the sending node's shard and count into
+	// that shard's counters, so concurrent shard workers never share mutable
+	// state. Unsharded runs degenerate to one shard: shardOfNode is nil,
+	// netRNGs[0] is netRNG itself (the historical single-stream draw order,
+	// bit-for-bit) and counts has a single element.
+	sharded     Sharded
+	shardOfNode []int32
+	netRNGs     []protocol.Rand
+	counts      []shardCounters
 
 	// network and delayedSend are resolved once at assembly so the Send hot
 	// path pays one nil check, not a per-message type assertion.
 	network     netmodel.Model
 	delayedSend DelayedSender
-
-	sent      int64
-	delivered int64
-	dropped   int64
 
 	envelopes map[int]*core.Envelope
 
@@ -113,6 +126,13 @@ type Host struct {
 }
 
 var _ protocol.Sender = (*Host)(nil)
+
+// shardCounters holds one shard's message counters, padded to a full cache
+// line so concurrent shard workers do not false-share.
+type shardCounters struct {
+	sent, delivered, dropped int64
+	_                        [5]int64
+}
 
 // NewHost assembles a run against the environment: it instantiates one
 // protocol node per overlay vertex with its own randomness stream, schedules
@@ -138,6 +158,22 @@ func NewHost(env Env, cfg Config) (*Host, error) {
 		netRNG:    env.Rand(StreamNet),
 		network:   cfg.Network,
 		envelopes: make(map[int]*core.Envelope),
+	}
+	if sh, ok := env.(Sharded); ok && sh.NumShards() > 1 {
+		shards := sh.NumShards()
+		h.sharded = sh
+		h.shardOfNode = make([]int32, n)
+		for i := 0; i < n; i++ {
+			h.shardOfNode[i] = int32(sh.ShardOf(i))
+		}
+		h.netRNGs = make([]protocol.Rand, shards)
+		for s := range h.netRNGs {
+			h.netRNGs[s] = env.Rand(ShardNetStream(s))
+		}
+		h.counts = make([]shardCounters, shards)
+	} else {
+		h.netRNGs = []protocol.Rand{h.netRNG}
+		h.counts = make([]shardCounters, 1)
 	}
 	if cfg.Network != nil {
 		ds, ok := env.(DelayedSender)
@@ -191,18 +227,26 @@ func NewHost(env Env, cfg Config) (*Host, error) {
 	return h, nil
 }
 
-// scheduleRounds starts every node's proactive loop at a random phase.
+// scheduleRounds starts every node's proactive loop at a random phase. On a
+// sharded environment the loop is scheduled on the node's owning shard, so
+// ticks execute on the shard worker; the phase draws happen in node order
+// either way, so they are identical for every shard count.
 func (h *Host) scheduleRounds() {
 	phaseRNG := h.env.Rand(StreamPhase)
 	for i := range h.nodes {
 		i := i
 		phase := phaseRNG.Float64() * h.cfg.Delta
-		h.env.Every(phase, h.cfg.Delta, func() bool {
+		tick := func() bool {
 			if h.env.Online(i) {
 				h.nodes[i].Tick()
 			}
 			return true
-		})
+		}
+		if h.sharded != nil {
+			h.sharded.Shard(int(h.shardOfNode[i])).Every(phase, h.cfg.Delta, tick)
+		} else {
+			h.env.Every(phase, h.cfg.Delta, tick)
+		}
 	}
 }
 
@@ -278,7 +322,9 @@ func (h *Host) OnlineCount() int {
 
 // RandomOnlineNode returns a uniformly random online node, or false if every
 // node is offline. It uses rejection sampling with a fallback scan so that it
-// stays cheap when most of the network is online.
+// stays cheap when most of the network is online. It draws from the
+// coordinator's StreamNet stream, so in sharded runs it must only be called
+// from coordinator context (assembly, run-global events, rejoin hooks).
 func (h *Host) RandomOnlineNode() (int, bool) {
 	n := len(h.nodes)
 	for attempt := 0; attempt < 32; attempt++ {
@@ -298,7 +344,9 @@ func (h *Host) RandomOnlineNode() (int, bool) {
 }
 
 // RandomOnlineNeighbor returns a uniformly random online out-neighbour of the
-// given node, or false if none is online.
+// given node, or false if none is online. Like RandomOnlineNode it is
+// coordinator-context only in sharded runs (it shares the coordinator stream
+// and scratch buffer).
 func (h *Host) RandomOnlineNeighbor(i int) (int, bool) {
 	nbrs := h.cfg.Graph.OutNeighbors(i)
 	online := h.neighborScratch[:0]
@@ -314,52 +362,96 @@ func (h *Host) RandomOnlineNeighbor(i int) (int, bool) {
 	return int(online[h.netRNG.Intn(len(online))]), true
 }
 
+// shardIdx returns the shard owning the given node (always 0 unsharded).
+func (h *Host) shardIdx(node protocol.NodeID) int32 {
+	if h.shardOfNode == nil {
+		return 0
+	}
+	return h.shardOfNode[node]
+}
+
+// shardNow returns the current time of the given shard's clock — the
+// environment's clock in unsharded runs.
+func (h *Host) shardNow(s int32) float64 {
+	if h.sharded != nil {
+		return h.sharded.Shard(int(s)).Now()
+	}
+	return h.env.Now()
+}
+
 // Send implements protocol.Sender: after the host-level loss lotteries the
 // payload is handed to the environment's transport, which delivers it back
 // through deliver (or drops it in transit). With a network model configured,
 // the model's loss lottery runs after the DropProbability one and surviving
-// messages travel with a model-sampled delay; all draws come from the
-// StreamNet stream in a fixed order, so runs stay deterministic.
+// messages travel with a model-sampled delay. All draws come from the
+// sending shard's network stream in a fixed order — the single StreamNet
+// stream in unsharded runs — so runs stay deterministic, sharded ones
+// included: each node only ever sends from its owning shard's worker (or
+// from the coordinator while that worker is parked at a barrier).
 func (h *Host) Send(from, to protocol.NodeID, payload protocol.Payload) {
-	h.sent++
+	s := h.shardIdx(from)
+	c := &h.counts[s]
+	c.sent++
 	if env, ok := h.envelopes[int(from)]; ok {
-		env.Record(h.env.Now())
+		env.Record(h.shardNow(s))
 	}
-	if h.cfg.DropProbability > 0 && h.netRNG.Float64() < h.cfg.DropProbability {
-		h.dropped++
+	r := h.netRNGs[s]
+	if h.cfg.DropProbability > 0 && r.Float64() < h.cfg.DropProbability {
+		c.dropped++
 		return
 	}
 	if h.network != nil {
-		if h.network.Drop(from, to, h.netRNG) {
-			h.dropped++
+		if h.network.Drop(from, to, r) {
+			c.dropped++
 			return
 		}
-		h.delayedSend.SendDelayed(from, to, payload, h.network.Delay(from, to, h.netRNG))
+		h.delayedSend.SendDelayed(from, to, payload, h.network.Delay(from, to, r))
 		return
 	}
 	h.env.Send(from, to, payload)
 }
 
 // deliver is the environment's delivery callback: messages to offline nodes
-// are dropped, everything else reaches the destination's Receive handler.
+// are dropped, everything else reaches the destination's Receive handler. It
+// executes on the destination's shard worker in sharded runs, so it counts
+// into that shard's counters.
 func (h *Host) deliver(from, to protocol.NodeID, payload protocol.Payload) {
+	c := &h.counts[h.shardIdx(to)]
 	if !h.env.Online(int(to)) {
-		h.dropped++
+		c.dropped++
 		return
 	}
-	h.delivered++
+	c.delivered++
 	h.nodes[to].Receive(from, payload)
 }
 
 // MessagesSent returns the total number of messages handed to the host.
-func (h *Host) MessagesSent() int64 { return h.sent }
+func (h *Host) MessagesSent() int64 {
+	var total int64
+	for i := range h.counts {
+		total += h.counts[i].sent
+	}
+	return total
+}
 
 // MessagesDelivered returns the number of messages delivered to online nodes.
-func (h *Host) MessagesDelivered() int64 { return h.delivered }
+func (h *Host) MessagesDelivered() int64 {
+	var total int64
+	for i := range h.counts {
+		total += h.counts[i].delivered
+	}
+	return total
+}
 
 // MessagesDropped returns the number of messages dropped by the loss lottery
 // or because the target was offline at delivery time.
-func (h *Host) MessagesDropped() int64 { return h.dropped }
+func (h *Host) MessagesDropped() int64 {
+	var total int64
+	for i := range h.counts {
+		total += h.counts[i].dropped
+	}
+	return total
+}
 
 // AverageTokens returns the mean account balance. With onlineOnly set, only
 // online nodes are considered (the churn scenario's convention).

@@ -109,6 +109,38 @@ type DelayedSender interface {
 	SendDelayed(from, to protocol.NodeID, payload protocol.Payload, delay float64)
 }
 
+// ShardScheduler is the per-shard scheduling surface of a Sharded
+// environment: shard-local virtual time plus timers whose callbacks run on
+// the shard's own worker and must only touch state owned by that shard's
+// nodes. During a window, Now runs ahead of the coordinator clock by up to
+// the lookahead.
+type ShardScheduler interface {
+	Now() float64
+	Schedule(delay float64, fn func())
+	Every(phase, interval float64, fn func() bool)
+}
+
+// Sharded is the optional Env capability behind parallel single-run
+// execution: the environment partitions the node space across worker shards
+// executing under a conservative time-window protocol. The Env interface
+// itself remains the coordinator view — its scheduling methods enqueue
+// run-global events that execute single-threaded at window barriers with
+// every shard synchronized, so existing scenario drivers, metric probes and
+// rejoin hooks work unchanged. Per-node work (the proactive loops) must
+// instead be scheduled on the owning shard through Shard, which the Host
+// does when it detects the capability. Lifecycle flips (SetOnline,
+// SetOffline) are coordinator-only; Online is safe to read from any shard
+// during a window because flips only happen at barriers.
+type Sharded interface {
+	Env
+	// NumShards returns the number of worker shards (≥ 1).
+	NumShards() int
+	// ShardOf returns the shard owning the given node.
+	ShardOf(node int) int
+	// Shard returns the scheduling surface of one shard.
+	Shard(s int) ShardScheduler
+}
+
 // Randomness stream indices used by the Host. Environments derive their
 // streams with rng.Derive(seed, stream), so these constants pin down the
 // exact random sequences of a run: node i draws from stream uint64(i), the
@@ -122,3 +154,14 @@ const (
 	// StreamPhase feeds the per-node proactive phase offsets ("phase").
 	StreamPhase uint64 = 0x7068617365
 )
+
+// ShardNetStream returns the network randomness stream of one shard in a
+// sharded run: messages originating from a node draw their loss and latency
+// randomness from the stream of the owning shard, so the draws of one shard
+// never depend on the execution interleaving of the others and a run is
+// reproducible for a fixed (seed, shard count). The shard index lives in the
+// high half of the stream word, far above both StreamNet itself and the
+// per-node streams (dense node indices), so the streams never collide.
+func ShardNetStream(shard int) uint64 {
+	return StreamNet ^ (uint64(shard+1) << 32)
+}

@@ -206,6 +206,50 @@ func (e *Engine) RunUntil(horizon float64) {
 	}
 }
 
+// RunBefore executes events strictly before the limit: it pops events while
+// the next one's time is < limit, then advances virtual time to the limit.
+// It is the window primitive of the sharded engine — a shard owns the
+// half-open interval [now, limit) and events at exactly the limit belong to
+// the next window — but composes with the other run methods on any engine.
+func (e *Engine) RunBefore(limit float64) {
+	q := e.queue()
+	for q.Len() > 0 && !e.stopped {
+		if q.Peek().time >= limit {
+			break
+		}
+		e.step(q)
+	}
+	if !e.stopped && limit > e.now {
+		e.now = limit
+	}
+}
+
+// NextTime returns the time of the earliest pending event, or false when the
+// queue is empty.
+func (e *Engine) NextTime() (float64, bool) {
+	q := e.queue()
+	if q.Len() == 0 {
+		return 0, false
+	}
+	return q.Peek().time, true
+}
+
+// ScheduleDeliveryAt schedules a typed delivery event at the given absolute
+// virtual time (see ScheduleDelivery). Times in the past and NaN are clamped
+// to the current time. The sharded engine uses it to move cross-shard
+// deliveries between engines without re-deriving their relative delay. It
+// panics on a nil sink.
+func (e *Engine) ScheduleDeliveryAt(t float64, d Delivery, sink DeliverySink) {
+	if sink == nil {
+		panic("sim: ScheduleDeliveryAt with nil sink")
+	}
+	if t < e.now || math.IsNaN(t) {
+		t = e.now
+	}
+	e.seq++
+	e.queue().Push(event{time: t, seq: e.seq, sink: sink, d: d})
+}
+
 // Run executes events until the queue is empty or Stop is called.
 func (e *Engine) Run() {
 	q := e.queue()

@@ -1,0 +1,307 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// ShardedConfig parameterizes a sharded engine.
+type ShardedConfig struct {
+	// Shards is the number of worker shards (≥ 1). Each shard owns one
+	// Engine and executes its nodes' events on its own goroutine.
+	Shards int
+	// ShardOf maps every node index to the shard that owns it. Values must
+	// lie in [0, Shards). Its length fixes the node count.
+	ShardOf []int32
+	// Lookahead is the minimum delay of any cross-shard delivery (> 0).
+	// Shards execute independently for windows of this length; a smaller
+	// cross-shard delay would violate causality, so Send panics on one.
+	Lookahead float64
+	// Queue selects the event queue implementation backing every per-shard
+	// engine and the coordinator queue (see QueueKind).
+	Queue QueueKind
+}
+
+// outMsg is one cross-shard delivery parked in an outbox between windows:
+// the absolute delivery time plus the delivery itself.
+type outMsg struct {
+	time float64
+	d    Delivery
+}
+
+// ShardedEngine executes one simulation run across several shards under the
+// conservative time-window protocol: every shard owns a private Engine with
+// the events of its nodes, all shards execute in parallel up to a common
+// window end no further than lookahead ahead of the last barrier, cross-shard
+// deliveries travel through per-(src, dst) outboxes drained at the barrier,
+// and a coordinator queue holds the run-global events (metric sampling,
+// update injection, churn transitions), which execute only at barriers.
+//
+// Correctness rests on the lookahead bound: a cross-shard message sent at
+// time t inside a window starting at w arrives at t+d ≥ w+lookahead, which
+// is at or after the window end, so depositing it at the next barrier can
+// never deliver it late. Intra-shard deliveries are unconstrained.
+//
+// Determinism: for a fixed (event content, shard count) the run is
+// bit-for-bit reproducible. Shard execution is sequential within a shard;
+// outboxes are drained in (dst, src) order with fresh destination sequence
+// numbers; coordinator events run single-threaded at barriers, before any
+// shard event sharing their timestamp. The schedule does not depend on
+// goroutine timing — only on the event content itself.
+//
+// All scheduling methods (At, Schedule, Every, Send, Shard*) must be called
+// either during assembly or from within executing events; RunUntil itself
+// must be driven from a single goroutine.
+type ShardedEngine struct {
+	engines   []*Engine
+	coord     *Engine
+	shardOf   []int32
+	lookahead float64
+	sink      DeliverySink
+
+	// outboxes is the flattened S×S matrix of cross-shard buffers, indexed
+	// src*S+dst. Each buffer has exactly one writer (shard src's goroutine
+	// during windows, the coordinator at barriers) and one reader (the
+	// coordinator's drain); the window barrier orders the two, so plain
+	// slices suffice and the steady state allocates nothing once grown.
+	outboxes [][]outMsg
+
+	work    []chan float64
+	wg      sync.WaitGroup
+	started bool
+	closed  bool
+}
+
+// NewShardedEngine validates the configuration and builds the engine.
+func NewShardedEngine(cfg ShardedConfig) (*ShardedEngine, error) {
+	switch {
+	case cfg.Shards < 1:
+		return nil, fmt.Errorf("sim: ShardedConfig.Shards = %d, need ≥ 1", cfg.Shards)
+	case len(cfg.ShardOf) == 0:
+		return nil, fmt.Errorf("sim: ShardedConfig.ShardOf is empty")
+	case cfg.Lookahead <= 0 || math.IsNaN(cfg.Lookahead) || math.IsInf(cfg.Lookahead, 0):
+		return nil, fmt.Errorf("sim: ShardedConfig.Lookahead = %g, need > 0 and finite", cfg.Lookahead)
+	}
+	for i, s := range cfg.ShardOf {
+		if s < 0 || int(s) >= cfg.Shards {
+			return nil, fmt.Errorf("sim: ShardOf[%d] = %d outside [0, %d)", i, s, cfg.Shards)
+		}
+	}
+	se := &ShardedEngine{
+		engines:   make([]*Engine, cfg.Shards),
+		coord:     NewEngineWithQueue(cfg.Queue),
+		shardOf:   cfg.ShardOf,
+		lookahead: cfg.Lookahead,
+		outboxes:  make([][]outMsg, cfg.Shards*cfg.Shards),
+	}
+	for s := range se.engines {
+		se.engines[s] = NewEngineWithQueue(cfg.Queue)
+	}
+	return se, nil
+}
+
+// SetSink installs the delivery sink every delivery event is handed to. It
+// must be set before the first Send.
+func (se *ShardedEngine) SetSink(sink DeliverySink) { se.sink = sink }
+
+// NumShards returns the number of shards.
+func (se *ShardedEngine) NumShards() int { return len(se.engines) }
+
+// ShardOfNode returns the shard owning the given node.
+func (se *ShardedEngine) ShardOfNode(node int) int { return int(se.shardOf[node]) }
+
+// Now returns the coordinator's virtual time: the time of the last barrier.
+// During a window, shard-local time (ShardNow) runs ahead of it.
+func (se *ShardedEngine) Now() float64 { return se.coord.Now() }
+
+// At schedules a run-global event at the given absolute time on the
+// coordinator queue. Coordinator events execute single-threaded at window
+// barriers, with every shard synchronized to their timestamp, so they may
+// touch state of any shard.
+func (se *ShardedEngine) At(t float64, fn func()) { se.coord.At(t, fn) }
+
+// Schedule is At relative to the coordinator's current time.
+func (se *ShardedEngine) Schedule(delay float64, fn func()) { se.coord.Schedule(delay, fn) }
+
+// Every schedules a repeating run-global event on the coordinator queue
+// (see Engine.Every).
+func (se *ShardedEngine) Every(phase, interval float64, fn func() bool) {
+	se.coord.Every(phase, interval, fn)
+}
+
+// ShardNow returns shard s's local virtual time: inside a window it runs up
+// to lookahead ahead of the last barrier.
+func (se *ShardedEngine) ShardNow(s int) float64 { return se.engines[s].Now() }
+
+// ShardSchedule schedules fn on shard s's queue after delay of shard-local
+// virtual time. The callback runs on the shard's goroutine and must only
+// touch state owned by that shard.
+func (se *ShardedEngine) ShardSchedule(s int, delay float64, fn func()) {
+	se.engines[s].Schedule(delay, fn)
+}
+
+// ShardEvery schedules a repeating event on shard s's queue (see
+// Engine.Every). The callback runs on the shard's goroutine and must only
+// touch state owned by that shard.
+func (se *ShardedEngine) ShardEvery(s int, phase, interval float64, fn func() bool) {
+	se.engines[s].Every(phase, interval, fn)
+}
+
+// Send schedules the delivery d after the given delay, routed by the shards
+// of its endpoints: an intra-shard delivery goes straight into the owning
+// shard's queue (the same zero-allocation path as Engine.ScheduleDelivery),
+// a cross-shard one is parked in the (src, dst) outbox and deposited into
+// the destination queue at the next barrier. The delay is measured from the
+// source shard's local time — the shard's own goroutine during a window, the
+// common barrier time in coordinator context — and a negative or NaN delay
+// counts as zero. Cross-shard delays below the lookahead violate the
+// conservative contract and panic.
+func (se *ShardedEngine) Send(delay float64, d Delivery) {
+	if delay < 0 || math.IsNaN(delay) {
+		delay = 0
+	}
+	src, dst := se.shardOf[d.From], se.shardOf[d.To]
+	if src == dst {
+		se.engines[src].ScheduleDelivery(delay, d, se.sink)
+		return
+	}
+	if delay < se.lookahead {
+		panic(fmt.Sprintf("sim: cross-shard delivery %d→%d with delay %g below the lookahead %g",
+			d.From, d.To, delay, se.lookahead))
+	}
+	ob := &se.outboxes[int(src)*len(se.engines)+int(dst)]
+	*ob = append(*ob, outMsg{time: se.engines[src].Now() + delay, d: d})
+}
+
+// Processed returns the total number of executed events across all shards
+// and the coordinator. It must not be called while a window is executing.
+func (se *ShardedEngine) Processed() uint64 {
+	total := se.coord.Processed()
+	for _, e := range se.engines {
+		total += e.Processed()
+	}
+	return total
+}
+
+// Pending returns the number of scheduled, not-yet-executed events,
+// including deliveries parked in outboxes.
+func (se *ShardedEngine) Pending() int {
+	n := se.coord.Pending()
+	for _, e := range se.engines {
+		n += e.Pending()
+	}
+	for _, ob := range se.outboxes {
+		n += len(ob)
+	}
+	return n
+}
+
+// RunUntil advances the run to the horizon under the window protocol:
+// repeatedly drain the outboxes, execute due coordinator events, pick the
+// next window end (bounded by the lookahead, the next coordinator event and
+// the horizon), and execute all shards in parallel up to — exclusively — that
+// end. Events at exactly the horizon execute in a final sequential sweep, so
+// repeated calls with increasing horizons behave like one long run, matching
+// Engine.RunUntil.
+func (se *ShardedEngine) RunUntil(horizon float64) {
+	if se.closed {
+		panic("sim: RunUntil on a closed ShardedEngine")
+	}
+	for {
+		t := se.coord.Now()
+		se.drainOutboxes()
+		se.coord.RunUntil(t)
+		if t >= horizon {
+			break
+		}
+		wEnd := t + se.lookahead
+		if wEnd > horizon {
+			wEnd = horizon
+		}
+		if next, ok := se.coord.NextTime(); ok && next < wEnd {
+			wEnd = next
+		}
+		se.runWindow(wEnd)
+		// No coordinator event lies in (t, wEnd), so this only advances the
+		// coordinator clock to the barrier.
+		se.coord.RunBefore(wEnd)
+	}
+	// All shards stand at the horizon with every due cross-shard delivery
+	// deposited; the inclusive sweep runs the events at exactly the horizon.
+	// Cross-shard sends they issue come due at horizon+lookahead at the
+	// earliest and stay parked for the next call.
+	for _, e := range se.engines {
+		e.RunUntil(horizon)
+	}
+	se.drainOutboxes()
+}
+
+// runWindow executes every shard up to, exclusively, the window end.
+func (se *ShardedEngine) runWindow(wEnd float64) {
+	if len(se.engines) == 1 {
+		se.engines[0].RunBefore(wEnd)
+		return
+	}
+	if !se.started {
+		se.start()
+	}
+	se.wg.Add(len(se.work))
+	for _, ch := range se.work {
+		ch <- wEnd
+	}
+	se.wg.Wait()
+}
+
+// start spawns the persistent shard workers. Each worker owns its shard's
+// engine (and, transitively, the state of the nodes mapped to it) for the
+// duration of every window; the channel send and WaitGroup establish the
+// barrier ordering that lets coordinator events touch any shard in between.
+func (se *ShardedEngine) start() {
+	se.started = true
+	se.work = make([]chan float64, len(se.engines))
+	for s := range se.engines {
+		ch := make(chan float64)
+		se.work[s] = ch
+		go func(e *Engine) {
+			for wEnd := range ch {
+				e.RunBefore(wEnd)
+				se.wg.Done()
+			}
+		}(se.engines[s])
+	}
+}
+
+// drainOutboxes deposits parked cross-shard deliveries into their
+// destination queues. The (dst, src) iteration order is fixed, and entries
+// within one outbox are in source execution order, so the destination
+// sequence numbers — and with them all tie-breaks — are deterministic.
+func (se *ShardedEngine) drainOutboxes() {
+	s := len(se.engines)
+	for dst := 0; dst < s; dst++ {
+		e := se.engines[dst]
+		for src := 0; src < s; src++ {
+			ob := &se.outboxes[src*s+dst]
+			for i := range *ob {
+				m := &(*ob)[i]
+				e.ScheduleDeliveryAt(m.time, m.d, se.sink)
+				m.d.Box = nil // release boxed payloads while the slot idles
+			}
+			*ob = (*ob)[:0]
+		}
+	}
+}
+
+// Close terminates the shard workers. It must not be called while RunUntil
+// is executing; the engine cannot run afterwards.
+func (se *ShardedEngine) Close() {
+	if se.closed {
+		return
+	}
+	se.closed = true
+	if se.started {
+		for _, ch := range se.work {
+			close(ch)
+		}
+	}
+}

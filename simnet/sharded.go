@@ -1,0 +1,227 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/szte-dcs/tokenaccount/internal/rng"
+	"github.com/szte-dcs/tokenaccount/protocol"
+	"github.com/szte-dcs/tokenaccount/runtime"
+	"github.com/szte-dcs/tokenaccount/sim"
+)
+
+// ShardedEnvConfig parameterizes the sharded discrete-event environment.
+type ShardedEnvConfig struct {
+	// N is the number of node slots (required, ≥ 1). All nodes start online.
+	N int
+	// Seed drives every randomness stream of the run, with the same stream
+	// derivation as the plain environment (see Env.Rand).
+	Seed uint64
+	// TransferDelay is the fixed transfer delay of Send (see EnvConfig).
+	TransferDelay float64
+	// Queue selects the event queue implementation backing every shard's
+	// engine and the coordinator queue.
+	Queue sim.QueueKind
+	// Shards is the number of worker shards (≥ 1).
+	Shards int
+	// ShardOf maps every node to its owning shard (length N, values in
+	// [0, Shards)). netmodel.PlanShards derives it together with Lookahead.
+	ShardOf []int32
+	// Lookahead is the minimum cross-shard delivery delay (> 0); see
+	// sim.ShardedConfig.
+	Lookahead float64
+}
+
+// ShardedEnv is the sharded discrete-event implementation of runtime.Env:
+// the same contract as Env, executed by a sim.ShardedEngine under the
+// conservative time-window protocol. The Env surface is the coordinator
+// view — Now is the barrier clock, At/Schedule/Every enqueue run-global
+// events that execute single-threaded at barriers — while the
+// runtime.Sharded capability exposes the per-shard schedulers the Host puts
+// the proactive loops on. Lifecycle state is one shared availability array:
+// it is only written by coordinator events (churn runs at barriers) and read
+// concurrently by the shard workers in between, which the window barrier
+// makes race-free.
+//
+// For a fixed (seed, N, shard count) a run is bit-for-bit reproducible;
+// different shard counts are different (equally valid) event interleavings
+// of the same model.
+type ShardedEnv struct {
+	engine        *sim.ShardedEngine
+	seed          uint64
+	transferDelay float64
+	online        []bool
+	deliver       runtime.DeliverFunc
+	facades       []shardFacade
+}
+
+var (
+	_ runtime.Env           = (*ShardedEnv)(nil)
+	_ runtime.DelayedSender = (*ShardedEnv)(nil)
+	_ runtime.Sharded       = (*ShardedEnv)(nil)
+	_ sim.DeliverySink      = (*ShardedEnv)(nil)
+)
+
+// NewShardedEnv builds a sharded discrete-event environment with every node
+// online.
+func NewShardedEnv(cfg ShardedEnvConfig) (*ShardedEnv, error) {
+	switch {
+	case cfg.N < 1:
+		return nil, fmt.Errorf("simnet: ShardedEnvConfig.N = %d, need ≥ 1", cfg.N)
+	case cfg.TransferDelay < 0:
+		return nil, fmt.Errorf("simnet: TransferDelay = %v, need ≥ 0", cfg.TransferDelay)
+	case len(cfg.ShardOf) != cfg.N:
+		return nil, fmt.Errorf("simnet: ShardOf covers %d nodes, N = %d", len(cfg.ShardOf), cfg.N)
+	}
+	engine, err := sim.NewShardedEngine(sim.ShardedConfig{
+		Shards:    cfg.Shards,
+		ShardOf:   cfg.ShardOf,
+		Lookahead: cfg.Lookahead,
+		Queue:     cfg.Queue,
+	})
+	if err != nil {
+		return nil, err
+	}
+	online := make([]bool, cfg.N)
+	for i := range online {
+		online[i] = true
+	}
+	e := &ShardedEnv{
+		engine:        engine,
+		seed:          cfg.Seed,
+		transferDelay: cfg.TransferDelay,
+		online:        online,
+		facades:       make([]shardFacade, cfg.Shards),
+	}
+	for s := range e.facades {
+		e.facades[s] = shardFacade{engine: engine, shard: s}
+	}
+	engine.SetSink(e)
+	return e, nil
+}
+
+// Engine exposes the underlying sharded engine, e.g. for tests.
+func (e *ShardedEnv) Engine() *sim.ShardedEngine { return e.engine }
+
+// Now implements runtime.Env with the coordinator's barrier clock.
+func (e *ShardedEnv) Now() float64 { return e.engine.Now() }
+
+// At implements runtime.Env on the coordinator queue.
+func (e *ShardedEnv) At(t float64, fn func()) { e.engine.At(t, fn) }
+
+// Schedule implements runtime.Env on the coordinator queue.
+func (e *ShardedEnv) Schedule(delay float64, fn func()) { e.engine.Schedule(delay, fn) }
+
+// Every implements runtime.Env on the coordinator queue.
+func (e *ShardedEnv) Every(phase, interval float64, fn func() bool) {
+	e.engine.Every(phase, interval, fn)
+}
+
+// Rand implements runtime.Env with the exact same stream derivation as the
+// plain environment, so per-node and phase randomness are identical for
+// every shard count.
+func (e *ShardedEnv) Rand(stream uint64) protocol.Rand { return rng.New(rng.Derive(e.seed, stream)) }
+
+// Send implements runtime.Env: the payload is delivered after the fixed
+// transfer delay (see SendDelayed).
+func (e *ShardedEnv) Send(from, to protocol.NodeID, payload protocol.Payload) {
+	e.SendDelayed(from, to, payload, e.transferDelay)
+}
+
+// SendDelayed implements runtime.DelayedSender: the delivery is routed by
+// the shards of its endpoints — inline into the owning shard's queue when
+// they coincide, through the cross-shard outboxes otherwise. Both paths
+// store the delivery unboxed, so the steady-state message path allocates
+// nothing regardless of where the destination lives.
+func (e *ShardedEnv) SendDelayed(from, to protocol.NodeID, payload protocol.Payload, delay float64) {
+	e.engine.Send(delay, sim.Delivery{
+		From: int32(from),
+		To:   int32(to),
+		Kind: uint32(payload.Kind),
+		Word: payload.Word,
+		Box:  payload.Box,
+	})
+}
+
+// Deliver implements sim.DeliverySink (see Env.Deliver). It runs on the
+// destination shard's worker.
+func (e *ShardedEnv) Deliver(d sim.Delivery) {
+	e.deliver(protocol.NodeID(d.From), protocol.NodeID(d.To), protocol.Payload{
+		Kind: protocol.PayloadKind(d.Kind),
+		Word: d.Word,
+		Box:  d.Box,
+	})
+}
+
+// SetDeliver implements runtime.Env.
+func (e *ShardedEnv) SetDeliver(fn runtime.DeliverFunc) { e.deliver = fn }
+
+// Processed returns the number of events executed across all shards and the
+// coordinator.
+func (e *ShardedEnv) Processed() uint64 { return e.engine.Processed() }
+
+// N implements runtime.Env.
+func (e *ShardedEnv) N() int { return len(e.online) }
+
+// Online implements runtime.Env. It is safe to call from shard workers
+// during a window: the availability flags only change at barriers.
+func (e *ShardedEnv) Online(node int) bool {
+	return node >= 0 && node < len(e.online) && e.online[node]
+}
+
+// SetOnline implements runtime.Env. Coordinator context only.
+func (e *ShardedEnv) SetOnline(node int) {
+	if node >= 0 && node < len(e.online) {
+		e.online[node] = true
+	}
+}
+
+// SetOffline implements runtime.Env. Coordinator context only.
+func (e *ShardedEnv) SetOffline(node int) {
+	if node >= 0 && node < len(e.online) {
+		e.online[node] = false
+	}
+}
+
+// NumShards implements runtime.Sharded.
+func (e *ShardedEnv) NumShards() int { return e.engine.NumShards() }
+
+// ShardOf implements runtime.Sharded.
+func (e *ShardedEnv) ShardOf(node int) int { return e.engine.ShardOfNode(node) }
+
+// Shard implements runtime.Sharded.
+func (e *ShardedEnv) Shard(s int) runtime.ShardScheduler { return &e.facades[s] }
+
+// Run implements runtime.Env: windows execute until the barrier clock
+// reaches the horizon (see sim.ShardedEngine.RunUntil).
+func (e *ShardedEnv) Run(until float64) error {
+	if math.IsNaN(until) {
+		return fmt.Errorf("simnet: Run(NaN)")
+	}
+	e.engine.RunUntil(until)
+	return nil
+}
+
+// Close implements runtime.Env: it terminates the shard workers.
+func (e *ShardedEnv) Close() error {
+	e.engine.Close()
+	return nil
+}
+
+// shardFacade adapts one shard of the engine to runtime.ShardScheduler.
+type shardFacade struct {
+	engine *sim.ShardedEngine
+	shard  int
+}
+
+var _ runtime.ShardScheduler = (*shardFacade)(nil)
+
+func (f *shardFacade) Now() float64 { return f.engine.ShardNow(f.shard) }
+
+func (f *shardFacade) Schedule(delay float64, fn func()) {
+	f.engine.ShardSchedule(f.shard, delay, fn)
+}
+
+func (f *shardFacade) Every(phase, interval float64, fn func() bool) {
+	f.engine.ShardEvery(f.shard, phase, interval, fn)
+}
