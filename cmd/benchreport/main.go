@@ -41,6 +41,7 @@ import (
 	hostrt "github.com/szte-dcs/tokenaccount/runtime"
 	"github.com/szte-dcs/tokenaccount/sim"
 	"github.com/szte-dcs/tokenaccount/simnet"
+	"github.com/szte-dcs/tokenaccount/workload"
 
 	"github.com/szte-dcs/tokenaccount/apps/gossiplearning"
 )
@@ -390,7 +391,54 @@ func specs() []spec {
 			bench:   func(short bool) func(*testing.B) { return schedulerBench(kind) },
 		})
 	}
+	// Every built-in workload generator family, sampled steady-state. All are
+	// alloc-guarded: arrival sampling sits on the simulation hot path (one
+	// Next per injected update), so the committed guarantee is 0 allocs/op —
+	// including the time-warped families, whose profile inversion must stay
+	// bracket-and-bisect in place. Replay is exercised by the workload
+	// package's AllocsPerRun test instead (a finite stream cannot fill b.N).
+	for _, wl := range []struct{ name, spec string }{
+		{"interval", "interval:17.28"},
+		{"poisson", "poisson:0.5"},
+		{"pareto-onoff", "pareto-onoff:2:30:90:1.5"},
+		{"diurnal", "diurnal:3600:0.8:poisson:0.5"},
+		{"flashcrowd", "flashcrowd:3600:20:600:poisson:0.5"},
+	} {
+		wl := wl
+		out = append(out, spec{
+			name:    "WorkloadSampling/" + wl.name,
+			guarded: true,
+			bench:   func(short bool) func(*testing.B) { return workloadSamplingBench(wl.spec) },
+		})
+	}
 	return out
+}
+
+// workloadSink keeps the sampled arrival times observable so the compiler
+// cannot elide the Next calls under measurement.
+var workloadSink float64
+
+// workloadSamplingBench measures one arrival-process sample per op, after a
+// short warm-up that moves the generator past its initial transient (the
+// flash-crowd onset, the first ON period). Its allocs/op is the committed
+// zero-allocation guarantee of the workload dimension.
+func workloadSamplingBench(specStr string) func(b *testing.B) {
+	return func(b *testing.B) {
+		parsed, err := workload.ParseSpec(specStr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := parsed.New(workload.ArrivalSeed(1))
+		for i := 0; i < 1024; i++ {
+			workloadSink = a.Next()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			workloadSink = a.Next()
+		}
+		b.ReportMetric(1, "events/op")
+	}
 }
 
 // figureOptions scales the figure benchmarks: full mode matches the

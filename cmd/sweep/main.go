@@ -53,6 +53,7 @@ func run(args []string, w io.Writer) error {
 		scenarioName = fs.String("scenario", "failure-free", "failure scenario: "+strings.Join(experiment.Scenarios(), ", "))
 		runtimeName  = fs.String("runtime", "sim", "execution runtime (live takes :timescale, e.g. live:0.001): "+strings.Join(experiment.Runtimes(), ", "))
 		networkList  = fs.String("network", "constant", "comma-separated network model specs swept as an extra axis (e.g. constant,exponential:1.728,zones:4:0.5:3): "+strings.Join(experiment.Networks(), ", "))
+		workloadList = fs.String("workload", "interval", "comma-separated update-injection arrival process specs swept as an extra axis (e.g. interval,poisson:0.5,pareto-onoff:2:30:90:1.5): "+strings.Join(experiment.Workloads(), ", "))
 		shards       = fs.Int("shards", 0, "parallel worker shards of the sim runtime (1 = the sequential engine; >1 needs a network model with a positive minimum cross-shard delay, e.g. zones)")
 		n            = fs.Int("n", 500, "number of nodes")
 		rounds       = fs.Int("rounds", 200, "number of proactive periods")
@@ -94,6 +95,14 @@ func run(args []string, w io.Writer) error {
 		}
 		nets = append(nets, net)
 	}
+	var wls []experiment.WorkloadDriver
+	for _, spec := range strings.Split(*workloadList, ",") {
+		wl, err := experiment.ParseWorkload(spec)
+		if err != nil {
+			return err
+		}
+		wls = append(wls, wl)
+	}
 	kind := experiment.StrategyKind(*kindName)
 	grid := experiment.ParameterGrid(kind)
 	if len(grid) == 0 {
@@ -109,24 +118,34 @@ func run(args []string, w io.Writer) error {
 		runtimeNote = ", runtime=" + experiment.DriverLabel(rt)
 	}
 	showNet := len(nets) > 1 || !experiment.IsDefaultNetwork(nets[0])
+	// Like the network column, the workload column (and its companion
+	// skipped-injection count) appears exactly when a non-default workload is
+	// in play, keeping default sweep output in its historical form.
+	showWl := len(wls) > 1 || !experiment.IsDefaultWorkload(wls[0])
 	fmt.Fprintf(w, "# %s on %s, %s, N=%d, %d rounds, %d repetition(s)%s\n",
 		kind, experiment.DriverLabel(app), experiment.DriverLabel(scenario), *n, *rounds, *reps, runtimeNote)
-	if showNet {
-		fmt.Fprintln(w, "network\tstrategy\tmsgs_per_node_per_round\tsteady_state_metric\tfinal_metric")
-	} else {
-		fmt.Fprintln(w, "strategy\tmsgs_per_node_per_round\tsteady_state_metric\tfinal_metric")
+	header := "strategy\tmsgs_per_node_per_round\tsteady_state_metric\tfinal_metric"
+	if showWl {
+		header = "workload\t" + header + "\tskipped_injections"
 	}
-	// Grid settings (network × strategy) are embarrassingly parallel:
-	// simulate them on a bounded worker pool and print the rows in grid
-	// order so the output is identical for any worker count.
+	if showNet {
+		header = "network\t" + header
+	}
+	fmt.Fprintln(w, header)
+	// Grid settings (network × workload × strategy) are embarrassingly
+	// parallel: simulate them on a bounded worker pool and print the rows in
+	// grid order so the output is identical for any worker count.
 	type job struct {
 		net  experiment.NetworkDriver
+		wl   experiment.WorkloadDriver
 		spec experiment.StrategySpec
 	}
 	var jobs []job
 	for _, net := range nets {
-		for _, spec := range specs {
-			jobs = append(jobs, job{net: net, spec: spec})
+		for _, wl := range wls {
+			for _, spec := range specs {
+				jobs = append(jobs, job{net: net, wl: wl, spec: spec})
+			}
 		}
 	}
 	results, err := experiment.Collect(context.Background(), *workers, len(jobs), func(i int) (*experiment.Result, error) {
@@ -136,16 +155,21 @@ func run(args []string, w io.Writer) error {
 			Scenario:    scenario,
 			Runtime:     rt,
 			Network:     jobs[i].net,
+			Workload:    jobs[i].wl,
 			N:           *n,
 			Rounds:      *rounds,
 			Repetitions: *reps,
 			Seed:        *seed,
 		})
 		if err != nil {
-			if showNet {
-				return nil, fmt.Errorf("%s/%s: %w", experiment.DriverLabel(jobs[i].net), jobs[i].spec.Label(), err)
+			prefix := jobs[i].spec.Label()
+			if showWl {
+				prefix = experiment.DriverLabel(jobs[i].wl) + "/" + prefix
 			}
-			return nil, fmt.Errorf("%s: %w", jobs[i].spec.Label(), err)
+			if showNet {
+				prefix = experiment.DriverLabel(jobs[i].net) + "/" + prefix
+			}
+			return nil, fmt.Errorf("%s: %w", prefix, err)
 		}
 		return res, nil
 	})
@@ -157,8 +181,15 @@ func run(args []string, w io.Writer) error {
 		if showNet {
 			fmt.Fprintf(w, "%s\t", experiment.DriverLabel(j.net))
 		}
-		fmt.Fprintf(w, "%s\t%.3f\t%g\t%g\n",
+		if showWl {
+			fmt.Fprintf(w, "%s\t", experiment.DriverLabel(j.wl))
+		}
+		fmt.Fprintf(w, "%s\t%.3f\t%g\t%g",
 			j.spec.Label(), res.MessagesPerNodePerRound, res.SteadyStateMetric, res.FinalMetric)
+		if showWl {
+			fmt.Fprintf(w, "\t%g", res.InjectionsSkipped)
+		}
+		fmt.Fprintln(w)
 	}
 	return nil
 }

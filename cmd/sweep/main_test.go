@@ -119,3 +119,66 @@ func TestSweepWorkersProduceIdenticalOutput(t *testing.T) {
 		t.Fatalf("sweep output differs between -workers 1 and -workers 4:\n--- workers=1 ---\n%s--- workers=4 ---\n%s", seq, par)
 	}
 }
+
+// TestSweepWorkloadAxis sweeps the same strategy grid across two arrival
+// workloads: the workload column and the skipped_injections column must
+// appear exactly when a non-default workload is in play, every (workload,
+// strategy) combination must produce a row, and the rows under different
+// workloads must actually differ.
+func TestSweepWorkloadAxis(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-app", "push-gossip",
+		"-kind", "simple",
+		"-workload", "interval,poisson:0.5",
+		"-n", "50",
+		"-rounds", "10",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "workload\tstrategy\tmsgs_per_node_per_round\tsteady_state_metric\tfinal_metric\tskipped_injections") {
+		t.Errorf("missing workload column header:\n%s", got)
+	}
+	rows := map[string]map[string]string{"interval": {}, "poisson:0.5": {}}
+	for _, line := range strings.Split(got, "\n") {
+		fields := strings.SplitN(line, "\t", 3)
+		if len(fields) == 3 {
+			if byStrategy, ok := rows[fields[0]]; ok {
+				byStrategy[fields[1]] = fields[2]
+			}
+		}
+	}
+	intervals, poissons := rows["interval"], rows["poisson:0.5"]
+	if len(intervals) == 0 || len(intervals) != len(poissons) {
+		t.Fatalf("unbalanced workload axis: %d interval rows, %d poisson rows", len(intervals), len(poissons))
+	}
+	differs := false
+	for strategy, metrics := range intervals {
+		if poissons[strategy] != metrics {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Errorf("every row identical across workloads — the axis is a no-op:\n%s", got)
+	}
+}
+
+// TestSweepWorkloadRequiresArrivalConsumer: sweeping a non-default workload
+// on an application that ignores arrivals must fail with the validation
+// error, naming the offending combination.
+func TestSweepWorkloadRequiresArrivalConsumer(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-app", "gossip-learning",
+		"-kind", "simple",
+		"-workload", "poisson:0.5",
+		"-n", "50",
+		"-rounds", "10",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "does not consume arrival workloads") {
+		t.Errorf("err = %v, want arrival-consumer rejection", err)
+	}
+}

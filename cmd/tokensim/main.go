@@ -42,6 +42,7 @@ func run(args []string, w io.Writer) error {
 		scenarioName = fs.String("scenario", "failure-free", "scenario: "+strings.Join(experiment.Scenarios(), ", "))
 		runtimeName  = fs.String("runtime", "sim", "execution runtime (live takes :timescale, e.g. live:0.001): "+strings.Join(experiment.Runtimes(), ", "))
 		networkName  = fs.String("network", "constant", "network latency/loss model (with :params, e.g. exponential:1.728, zones:4:0.5:3, lossy:0.01:uniform:1:2): "+strings.Join(experiment.Networks(), ", "))
+		workloadName = fs.String("workload", "interval", "update-injection arrival process (with :params, e.g. poisson:0.5, flashcrowd:3600:20:600:poisson:0.5, replay:arrivals.stream): "+strings.Join(experiment.Workloads(), ", "))
 		queueName    = fs.String("queue", "", "event queue of the sim runtime: slab, heap, calendar (defaults to the runtime's choice, calendar); all produce identical output")
 		shards       = fs.Int("shards", 0, "parallel worker shards of the sim runtime (1 = the sequential engine; >1 needs a network model with a positive minimum cross-shard delay, e.g. zones)")
 		n            = fs.Int("n", 1000, "number of nodes")
@@ -76,6 +77,10 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	workload, err := experiment.ParseWorkload(*workloadName)
+	if err != nil {
+		return err
+	}
 	if *queueName != "" || *shards != 0 {
 		// Reject both non-sim runtimes and runtime specs that already carry
 		// their own parameters (e.g. sim:slab, sim:shards=4), so -queue and
@@ -102,6 +107,7 @@ func run(args []string, w io.Writer) error {
 		Scenario:       scenario,
 		Runtime:        rt,
 		Network:        network,
+		Workload:       workload,
 		N:              *n,
 		Rounds:         *rounds,
 		Repetitions:    *reps,
@@ -116,6 +122,12 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "# %s\n", res.Config.Label())
 	fmt.Fprintf(w, "# messages sent: %.0f (%.3f per node per round)\n", res.MessagesSent, res.MessagesPerNodePerRound)
 	fmt.Fprintf(w, "# final metric: %g, steady-state metric: %g\n", res.FinalMetric, res.SteadyStateMetric)
+	// The skipped-injection line is printed only when it carries information
+	// (a non-default workload, or injections actually lost to a full-network
+	// outage), so historical default output stays byte-identical.
+	if !experiment.IsDefaultWorkload(workload) || res.InjectionsSkipped > 0 {
+		fmt.Fprintf(w, "# injections skipped (no node online): %g\n", res.InjectionsSkipped)
+	}
 	if *summaryOnly {
 		return nil
 	}

@@ -1,11 +1,20 @@
-// Command tracegen generates a synthetic smartphone availability trace (the
-// substitute for the STUNner trace used by the paper) and either writes it as
-// CSV or prints the aggregate churn statistics of Figure 1.
+// Command tracegen generates the replayable inputs of an experiment: the
+// synthetic smartphone availability trace (the substitute for the STUNner
+// trace used by the paper, with the Figure 1 churn statistics), correlated
+// regional outage traces, and recorded workload arrival streams for the
+// -workload replay:<path> spec.
 //
 // Examples:
 //
-//	tracegen -users 1191 -stats          # print Figure 1 statistics
-//	tracegen -users 5000 -out trace.csv  # write a trace for 5000 nodes
+//	tracegen -users 1191 -stats                        # print Figure 1 statistics
+//	tracegen -users 5000 -out trace.csv                # write a trace for 5000 nodes
+//	tracegen -users 500 -outage 4:0.2:900 -out out.csv # correlated outage trace
+//	tracegen -workload poisson:0.5 -duration 86400 -out arrivals.stream
+//	tracegen -workload flashcrowd:3600:20:600:poisson:0.5 -preview
+//
+// A recorded stream realizes exactly the arrivals an experiment with the same
+// -seed samples live (repetition 0), so "-workload replay:arrivals.stream"
+// reproduces the recorded run bit for bit.
 package main
 
 import (
@@ -13,8 +22,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"github.com/szte-dcs/tokenaccount/trace"
+	"github.com/szte-dcs/tokenaccount/workload"
 )
 
 func main() {
@@ -27,14 +38,35 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
 	var (
-		users   = fs.Int("users", 1191, "number of users (segments) to generate")
-		seed    = fs.Uint64("seed", 1, "random seed")
-		stats   = fs.Bool("stats", false, "print hourly Figure-1 statistics instead of the trace")
-		out     = fs.String("out", "", "write the trace CSV to this file (default: stdout)")
-		offline = fs.Float64("offline", 0.30, "fraction of permanently offline users")
+		users    = fs.Int("users", 1191, "number of users (segments) to generate")
+		seed     = fs.Uint64("seed", 1, "random seed (an experiment with the same -seed samples the identical realization)")
+		stats    = fs.Bool("stats", false, "print hourly Figure-1 statistics instead of the trace")
+		out      = fs.String("out", "", "write the trace CSV or arrival stream to this file (default: stdout)")
+		offline  = fs.Float64("offline", 0.30, "fraction of permanently offline users")
+		wlSpec   = fs.String("workload", "", "record this arrival-process spec (e.g. poisson:0.5) as a replayable stream instead of an availability trace")
+		outage   = fs.String("outage", "", "generate a correlated regional outage trace from zones:p:duration instead of the smartphone model")
+		duration = fs.Float64("duration", 2*24*3600, "covered duration in seconds of the recorded stream or outage trace")
+		preview  = fs.Bool("preview", false, "with -workload: print summary statistics of the realization instead of the stream")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *wlSpec != "" && *outage != "" {
+		return fmt.Errorf("-workload and -outage are mutually exclusive")
+	}
+	if *wlSpec != "" {
+		return recordWorkload(stdout, *wlSpec, *seed, *duration, *out, *preview)
+	}
+	if *outage != "" {
+		gen, err := workload.ParseOutages(strings.Split(*outage, ":"))
+		if err != nil {
+			return err
+		}
+		tr, err := gen.Trace(*users, *duration, *seed)
+		if err != nil {
+			return err
+		}
+		return writeCSV(stdout, *out, tr)
 	}
 	cfg := trace.DefaultSmartphoneConfig(*users, *seed)
 	cfg.PermanentlyOffline = *offline
@@ -55,14 +87,62 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "# permanently offline fraction: %.4f\n", tr.PermanentlyOfflineFraction())
 		return nil
 	}
-	w := stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
+	return writeCSV(stdout, *out, tr)
+}
+
+// writeCSV writes tr to the given path, or to stdout when path is empty.
+func writeCSV(stdout io.Writer, path string, tr *trace.Trace) error {
+	w, closeFn, err := outputTo(stdout, path)
+	if err != nil {
+		return err
 	}
+	defer closeFn()
 	return tr.WriteCSV(w)
+}
+
+// outputTo resolves the -out flag: the named file, or stdout when empty.
+func outputTo(stdout io.Writer, path string) (io.Writer, func() error, error) {
+	if path == "" {
+		return stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// recordWorkload realizes the arrival process of spec under the experiment's
+// seed-derivation contract (workload.ArrivalSeed of the run seed, so an
+// experiment with the same -seed samples the identical arrivals) and writes
+// it as a replayable stream — or, with -preview, prints summary statistics of
+// the realization.
+func recordWorkload(stdout io.Writer, spec string, seed uint64, duration float64, out string, preview bool) error {
+	parsed, err := workload.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	stream, err := workload.Record(parsed, workload.ArrivalSeed(seed), duration)
+	if err != nil {
+		return err
+	}
+	if preview {
+		fmt.Fprintf(stdout, "# workload %s, seed %d, duration %g s\n", stream.Spec, seed, stream.Duration)
+		fmt.Fprintf(stdout, "arrivals\t%d\n", len(stream.Times))
+		if n := len(stream.Times); n > 0 {
+			fmt.Fprintf(stdout, "mean_rate_per_s\t%g\n", float64(n)/stream.Duration)
+			fmt.Fprintf(stdout, "first_arrival_s\t%g\n", stream.Times[0])
+			fmt.Fprintf(stdout, "last_arrival_s\t%g\n", stream.Times[n-1])
+		}
+		return nil
+	}
+	w, closeFn, err := outputTo(stdout, out)
+	if err != nil {
+		return err
+	}
+	if err := stream.Write(w); err != nil {
+		closeFn()
+		return err
+	}
+	return closeFn()
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"github.com/szte-dcs/tokenaccount/trace"
+	"github.com/szte-dcs/tokenaccount/workload"
 )
 
 func TestStatsOutput(t *testing.T) {
@@ -70,5 +71,107 @@ func TestErrors(t *testing.T) {
 	}
 	if err := run([]string{"-users", "10", "-out", "/nonexistent-dir/x.csv"}, &out); err == nil {
 		t.Error("unwritable output path accepted")
+	}
+}
+
+func TestWorkloadStreamRecordRoundTrips(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "arrivals.stream")
+	var out strings.Builder
+	err := run([]string{"-workload", "poisson:0.5", "-seed", "7", "-duration", "3600", "-out", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	stream, err := workload.ReadStream(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.Spec != "poisson:0.5" || stream.Duration != 3600 {
+		t.Errorf("stream header = %q/%g", stream.Spec, stream.Duration)
+	}
+	// The file must realize exactly the arrivals an experiment with -seed 7
+	// samples live: the derivation goes through workload.ArrivalSeed.
+	spec, err := workload.ParseSpec("poisson:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := workload.Record(spec, workload.ArrivalSeed(7), 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream.Times) != len(want.Times) {
+		t.Fatalf("stream has %d arrivals, want %d", len(stream.Times), len(want.Times))
+	}
+	for i := range want.Times {
+		if stream.Times[i] != want.Times[i] {
+			t.Fatalf("arrival %d = %g, want %g (stream is not bit-exact)", i, stream.Times[i], want.Times[i])
+		}
+	}
+}
+
+func TestWorkloadPreview(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-workload", "flashcrowd:600:10:120:poisson:0.2", "-duration", "1800", "-preview"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"# workload flashcrowd:600:10:120:poisson:0.2", "arrivals\t", "mean_rate_per_s\t", "first_arrival_s\t"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("preview output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestOutageTraceGeneration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "outage.csv")
+	var out strings.Builder
+	err := run([]string{"-users", "120", "-outage", "1:0.5:600", "-duration", "7200", "-out", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadCSV(f, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N() != 120 {
+		t.Errorf("trace has %d nodes", tr.N())
+	}
+	// One zone with p=0.5: some node must be offline at some probe.
+	down := false
+	for probe := 0.0; probe < 7200; probe += 300 {
+		if !tr.Online(0, probe) {
+			down = true
+			break
+		}
+	}
+	if !down {
+		t.Error("outage trace never takes node 0 offline despite p=0.5")
+	}
+}
+
+func TestWorkloadModeErrors(t *testing.T) {
+	cases := [][]string{
+		{"-workload", "bogus:1"},
+		{"-workload", "poisson:0.5", "-duration", "0"},
+		{"-workload", "poisson:0.5", "-outage", "4:0.1:900"},
+		{"-outage", "4:0.1"},
+		{"-outage", "4:0.1:900", "-duration", "-5"},
+		{"-workload", "poisson:0.5", "-out", "/nonexistent-dir/x.stream"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
 	}
 }

@@ -90,6 +90,11 @@ type RunContext struct {
 	Host *runtime.Host
 	// Online reports whether a node is currently online.
 	Online func(node int) bool
+	// Arrivals is the workload's update-injection arrival process for this
+	// repetition, nil under the default fixed-interval workload (in which
+	// case arrival-driven applications fall back to their built-in
+	// InjectionInterval loop — the paper's traffic, byte-for-byte).
+	Arrivals runtime.ArrivalSource
 	// OnlineOnly reports whether metrics should be computed over online
 	// nodes only (true exactly when the scenario supplied a trace).
 	OnlineOnly bool

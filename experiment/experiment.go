@@ -65,6 +65,10 @@ type Config struct {
 	// resolved through ParseNetwork). Nil means ConstantNetwork: every
 	// message delivered after TransferDelay, the paper's setup.
 	Network NetworkDriver
+	// Workload is the traffic workload driver (IntervalWorkload, or any
+	// driver resolved through ParseWorkload). Nil means IntervalWorkload: one
+	// update injection every InjectionInterval, the paper's traffic.
+	Workload WorkloadDriver
 	// Seed drives all randomness; repetition r uses Seed+r.
 	Seed uint64
 	// Repetitions is the number of independent runs to average (the paper
@@ -117,6 +121,9 @@ func (c Config) WithDefaults() Config {
 	if c.Network == nil {
 		c.Network = ConstantNetwork
 	}
+	if c.Workload == nil {
+		c.Workload = IntervalWorkload
+	}
 	if c.Repetitions == 0 {
 		c.Repetitions = 1
 	}
@@ -154,6 +161,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("experiment: no runtime driver set")
 	case c.Network == nil:
 		return fmt.Errorf("experiment: no network driver set")
+	case c.Workload == nil:
+		return fmt.Errorf("experiment: no workload driver set")
 	case c.N < 2:
 		return fmt.Errorf("experiment: N = %d, need ≥ 2", c.N)
 	case c.Rounds < 1:
@@ -174,6 +183,13 @@ func (c Config) validate() error {
 	if v, ok := c.App.(ConfigValidator); ok {
 		if err := v.Validate(c); err != nil {
 			return err
+		}
+	}
+	if !IsDefaultWorkload(c.Workload) {
+		ac, ok := c.App.(ArrivalConsumer)
+		if !ok || !ac.ArrivalDriven() {
+			return fmt.Errorf("experiment: application %s does not consume arrival workloads (workload %s would be ignored)",
+				DriverLabel(c.App), DriverLabel(c.Workload))
 		}
 	}
 	if _, err := networkModel(c); err != nil {
@@ -198,6 +214,9 @@ func (c Config) Label() string {
 	label := fmt.Sprintf("%s/%s/%s/N=%d", DriverLabel(c.App), c.Strategy.Label(), DriverLabel(c.Scenario), c.N)
 	if !IsDefaultNetwork(c.Network) {
 		label += "/net=" + DriverLabel(c.Network)
+	}
+	if !IsDefaultWorkload(c.Workload) {
+		label += "/wl=" + DriverLabel(c.Workload)
 	}
 	if !IsDefaultRuntime(c.Runtime) {
 		label += "/" + DriverLabel(c.Runtime)
@@ -241,6 +260,12 @@ type Result struct {
 	// MessagesPerNodePerRound normalizes MessagesSent by N·Rounds, i.e. the
 	// realized communication budget relative to the proactive baseline's 1.
 	MessagesPerNodePerRound float64
+	// InjectionsSkipped is the mean number of update injections per run that
+	// were abandoned because no node was online at injection time. Heavy
+	// churn and correlated outages lose updates this way; a non-zero value
+	// flags that the workload's offered traffic exceeded what the network
+	// could accept.
+	InjectionsSkipped float64
 	// FinalMetric is the last sample of Metric.
 	FinalMetric float64
 	// SteadyStateMetric is the mean of Metric over the second half of the
@@ -259,10 +284,11 @@ func Run(cfg Config) (*Result, error) {
 
 // singleRun holds the raw output of one repetition.
 type singleRun struct {
-	metric *metrics.Series
-	tokens *metrics.Series
-	sent   int64
-	events uint64
+	metric  *metrics.Series
+	tokens  *metrics.Series
+	sent    int64
+	events  uint64
+	skipped int64
 }
 
 // runOnce executes one repetition. It is fully generic: everything
@@ -292,11 +318,16 @@ func runOnce(cfg Config, seed uint64) (*singleRun, error) {
 	// to trace presence for the built-ins; a churny scenario that returns no
 	// trace for some config keeps every node online, so the online-only
 	// computation degenerates to the all-nodes one).
+	arrivals, err := workloadArrivals(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
 	rc := &RunContext{
 		Config:     cfg,
 		Seed:       seed,
 		Graph:      graph,
 		Trace:      availability,
+		Arrivals:   arrivals,
 		OnlineOnly: cfg.Scenario.Churny(),
 	}
 
@@ -364,6 +395,7 @@ func runOnce(cfg Config, seed uint64) (*singleRun, error) {
 		return nil, fmt.Errorf("experiment: runtime %s: %w", DriverLabel(cfg.Runtime), err)
 	}
 	run.sent = host.MessagesSent()
+	run.skipped = host.InjectionsSkipped()
 	if p, ok := env.(interface{ Processed() uint64 }); ok {
 		run.events = p.Processed()
 	}

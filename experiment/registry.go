@@ -7,13 +7,14 @@ import (
 	"sync"
 )
 
-// The experiment package keeps three name-keyed registries — applications,
-// scenarios and strategy families — so that new workloads plug in additively:
-// registering a driver makes it reachable from ParseApplication /
-// ParseScenario / ParseStrategySpec (and therefore from the CLI tools)
-// without any change to the generic run pipeline. The paper's three
-// applications, two scenarios and five strategy kinds are registered by this
-// package's init functions through the same public entry points.
+// The experiment package keeps six name-keyed registries — applications,
+// scenarios, strategy families, runtimes, network models and workloads — so
+// that new experiment dimensions plug in additively: registering a driver
+// makes it reachable from ParseApplication / ParseScenario /
+// ParseStrategySpec / ParseRuntime / ParseNetwork / ParseWorkload (and
+// therefore from the CLI tools) without any change to the generic run
+// pipeline. The paper's built-ins along every dimension are registered by
+// this package's init functions through the same public entry points.
 
 // registry is a concurrency-safe name → value map with alias support and
 // deterministic listing order.
@@ -76,6 +77,7 @@ var (
 	strategies   = newRegistry[StrategyDriver]("strategy kind")
 	runtimes     = newRegistry[RuntimeFactory]("runtime")
 	networks     = newRegistry[NetworkFactory]("network")
+	workloads    = newRegistry[WorkloadFactory]("workload")
 )
 
 // RegisterApplication adds an application driver to the registry under
@@ -246,6 +248,43 @@ func ParseNetwork(spec string) (NetworkDriver, error) {
 // Networks returns the canonical names of all registered network models in
 // sorted order.
 func Networks() []string { return networks.list() }
+
+// WorkloadFactory builds a WorkloadDriver from the colon-separated parameters
+// following the workload name in a spec string such as "poisson:0.5" or
+// "flashcrowd:3600:20:600:poisson:0.5". Parameter-free workloads must reject
+// a non-empty args slice.
+type WorkloadFactory func(args []string) (WorkloadDriver, error)
+
+// RegisterWorkload adds a workload factory to the registry. The factory is
+// invoked by ParseWorkload with the parameters following the name, so a
+// single registered name can serve a parameterized family of arrival
+// processes. It fails if any of the names is already taken.
+func RegisterWorkload(name string, factory WorkloadFactory, aliases ...string) error {
+	return workloads.register(name, factory, aliases...)
+}
+
+// MustRegisterWorkload is RegisterWorkload, panicking on error.
+func MustRegisterWorkload(name string, factory WorkloadFactory, aliases ...string) {
+	if err := RegisterWorkload(name, factory, aliases...); err != nil {
+		panic(err)
+	}
+}
+
+// ParseWorkload resolves a workload spec string of the form
+// "name[:param[:param...]]" against the registry: the name (or alias)
+// selects the factory, which receives the remaining parts.
+func ParseWorkload(spec string) (WorkloadDriver, error) {
+	parts := strings.Split(strings.TrimSpace(spec), ":")
+	if f, ok := workloads.lookup(parts[0]); ok {
+		return f(parts[1:])
+	}
+	return nil, fmt.Errorf("experiment: unknown workload %q (registered: %s)",
+		spec, strings.Join(Workloads(), ", "))
+}
+
+// Workloads returns the canonical names of all registered workloads in sorted
+// order.
+func Workloads() []string { return workloads.list() }
 
 func strategyDriver(kind StrategyKind) (StrategyDriver, error) {
 	if d, ok := strategies.lookup(string(kind)); ok {

@@ -105,6 +105,7 @@ type aggregator struct {
 	tokens  metrics.Accumulator
 	sent    float64
 	events  float64
+	skipped float64
 	next    int
 	pending map[int]*singleRun
 }
@@ -171,6 +172,7 @@ func (a *aggregator) add(rep int, run *singleRun) error {
 		}
 		a.sent += float64(run.sent)
 		a.events += float64(run.events)
+		a.skipped += float64(run.skipped)
 		a.next++
 		advanced = true
 	}
@@ -191,10 +193,11 @@ func (a *aggregator) finish() (*Result, error) {
 		avg = f.FinishMetric(a.cfg, avg)
 	}
 	res := &Result{
-		Config:          a.cfg,
-		Metric:          avg,
-		MessagesSent:    a.sent / float64(a.cfg.Repetitions),
-		EventsProcessed: a.events / float64(a.cfg.Repetitions),
+		Config:            a.cfg,
+		Metric:            avg,
+		MessagesSent:      a.sent / float64(a.cfg.Repetitions),
+		EventsProcessed:   a.events / float64(a.cfg.Repetitions),
+		InjectionsSkipped: a.skipped / float64(a.cfg.Repetitions),
 	}
 	res.MessagesPerNodePerRound = res.MessagesSent / float64(a.cfg.N) / float64(a.cfg.Rounds)
 	_, res.FinalMetric = avg.Last()

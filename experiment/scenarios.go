@@ -3,6 +3,7 @@ package experiment
 import (
 	"github.com/szte-dcs/tokenaccount/internal/rng"
 	"github.com/szte-dcs/tokenaccount/trace"
+	"github.com/szte-dcs/tokenaccount/workload"
 )
 
 // The failure scenarios of §4.1, as self-registering drivers. They are
@@ -19,6 +20,18 @@ var (
 func init() {
 	MustRegisterScenarioDriver(FailureFree, "ff")
 	MustRegisterScenarioDriver(SmartphoneTrace, "trace", "churn")
+	MustRegisterScenario("outage", func(args []string) (ScenarioDriver, error) {
+		if len(args) == 0 {
+			// Bare "outage" means the default parameterization: four zones,
+			// each down 10% of the time in 900 s windows.
+			args = []string{"4", "0.1", "900"}
+		}
+		gen, err := workload.ParseOutages(args)
+		if err != nil {
+			return nil, err
+		}
+		return outageScenario{gen: gen}, nil
+	}, "outages")
 }
 
 // MustRegisterScenarioDriver is RegisterScenarioDriver, panicking on error.
@@ -53,4 +66,21 @@ func (smartphoneTraceScenario) BuildTrace(cfg Config, seed uint64) (*trace.Trace
 	smCfg := trace.DefaultSmartphoneConfig(cfg.N, rng.Derive(seed, 0x7472616365))
 	smCfg.Duration = cfg.Duration()
 	return trace.Smartphone(smCfg)
+}
+
+// outageScenario drives availability from the workload package's correlated
+// regional outage generator ("outage:zones:p:duration"): whole netmodel zones
+// drop and rejoin together. The generator realizes an ordinary availability
+// trace, so the host's lifecycle path — including rejoin pulls — runs
+// unchanged.
+type outageScenario struct {
+	gen workload.Outages
+}
+
+func (outageScenario) Name() string     { return "outage" }
+func (s outageScenario) String() string { return s.gen.String() }
+func (outageScenario) Churny() bool     { return true }
+
+func (s outageScenario) BuildTrace(cfg Config, seed uint64) (*trace.Trace, error) {
+	return s.gen.Trace(cfg.N, cfg.Duration(), seed)
 }

@@ -1,0 +1,143 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/szte-dcs/tokenaccount/runtime"
+	"github.com/szte-dcs/tokenaccount/workload"
+)
+
+// The traffic workloads, as self-registering drivers — the sixth registry
+// dimension next to applications, scenarios, strategies, runtimes and
+// networks. A WorkloadDriver turns a spec string such as "poisson:0.5" or
+// "flashcrowd:3600:20:600:poisson:0.5" into the update-injection arrival
+// process one repetition runs under; the default IntervalWorkload keeps the
+// paper's fixed InjectionInterval drip on the legacy Every path,
+// byte-identically. The availability side of the workload package plugs into
+// the scenario dimension instead (the "outage" scenario in scenarios.go), so
+// churn generators reuse the host's trace-driven lifecycle path unchanged.
+
+// IntervalWorkload is the default workload driver: one update injection every
+// Config.InjectionInterval, exactly as in the paper's evaluation. Its
+// Arrivals is nil, which selects the application's built-in injection loop —
+// the pre-workload code path, so default runs reproduce historical output
+// bit-for-bit. The spec form "interval:25" fixes the spacing and runs through
+// the generic arrival path instead.
+var IntervalWorkload WorkloadDriver = intervalWorkload{}
+
+// IsDefaultWorkload reports whether d is the default fixed-interval workload,
+// whose label the output formats suppress so default output keeps its
+// historical form. A nil driver counts as default, since WithDefaults
+// resolves nil to IntervalWorkload.
+func IsDefaultWorkload(d WorkloadDriver) bool {
+	return d == nil || d == IntervalWorkload
+}
+
+func init() {
+	MustRegisterWorkload("interval", func(args []string) (WorkloadDriver, error) {
+		if len(args) == 0 {
+			return IntervalWorkload, nil
+		}
+		return specWorkloadFromArgs("interval", args)
+	}, "drip")
+	MustRegisterWorkload("poisson", func(args []string) (WorkloadDriver, error) {
+		return specWorkloadFromArgs("poisson", args)
+	})
+	MustRegisterWorkload("pareto-onoff", func(args []string) (WorkloadDriver, error) {
+		return specWorkloadFromArgs("pareto-onoff", args)
+	}, "onoff", "selfsimilar")
+	MustRegisterWorkload("diurnal", func(args []string) (WorkloadDriver, error) {
+		return specWorkloadFromArgs("diurnal", args)
+	})
+	MustRegisterWorkload("flashcrowd", func(args []string) (WorkloadDriver, error) {
+		return specWorkloadFromArgs("flashcrowd", args)
+	}, "flash")
+	MustRegisterWorkload("replay", func(args []string) (WorkloadDriver, error) {
+		return specWorkloadFromArgs("replay", args)
+	})
+}
+
+// specWorkloadFromArgs reassembles a registry lookup into the workload
+// package's spec grammar and wraps the parsed spec as a driver.
+func specWorkloadFromArgs(name string, args []string) (WorkloadDriver, error) {
+	spec, err := workload.ParseSpec(name + ":" + strings.Join(args, ":"))
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	return SpecWorkload(spec), nil
+}
+
+// WorkloadDriver supplies the traffic workload of an experiment: the arrival
+// process driving update injections. The built-ins are registered under
+// "interval" (the default), "poisson", "pareto-onoff", "diurnal",
+// "flashcrowd" and "replay"; external arrival processes plug in through
+// RegisterWorkload.
+type WorkloadDriver interface {
+	// Name is the canonical registry name, used by ParseWorkload and in
+	// Config.Label.
+	Name() string
+	// Arrivals builds the arrival-process realization of one repetition. All
+	// randomness must be a pure function of seed (the repetition seed: wrap
+	// it with workload.ArrivalSeed to stay decorrelated from the runtime
+	// streams). A nil source selects the application's built-in
+	// fixed-interval injection loop — the paper's traffic, on the legacy
+	// zero-overhead path.
+	Arrivals(cfg Config, seed uint64) (runtime.ArrivalSource, error)
+}
+
+// ArrivalConsumer is an optional AppDriver capability: ArrivalDriven reports
+// whether the application consumes the workload arrival process (push gossip
+// injects one update per arrival). Configs pairing a non-default workload
+// with an application that ignores arrivals are rejected at validation time
+// instead of silently running the default traffic.
+type ArrivalConsumer interface {
+	ArrivalDriven() bool
+}
+
+// SpecWorkload wraps an arrival-process spec as a WorkloadDriver, registered
+// or used directly in Config.Workload. The driver's label is the spec's
+// parseable String form, so parameterized workloads stay distinguishable in
+// experiment labels and sweep rows.
+func SpecWorkload(spec workload.Spec) WorkloadDriver {
+	name := spec.String()
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		name = name[:i]
+	}
+	return specWorkload{name: name, spec: spec}
+}
+
+type specWorkload struct {
+	name string
+	spec workload.Spec
+}
+
+func (d specWorkload) Name() string   { return d.name }
+func (d specWorkload) String() string { return d.spec.String() }
+
+func (d specWorkload) Arrivals(_ Config, seed uint64) (runtime.ArrivalSource, error) {
+	return d.spec.New(workload.ArrivalSeed(seed)), nil
+}
+
+// Spec returns the wrapped arrival-process spec.
+func (d specWorkload) Spec() workload.Spec { return d.spec }
+
+// intervalWorkload is the parameter-free default: nil arrivals, application
+// injection loop.
+type intervalWorkload struct{}
+
+func (intervalWorkload) Name() string   { return "interval" }
+func (intervalWorkload) String() string { return "interval" }
+
+func (intervalWorkload) Arrivals(Config, uint64) (runtime.ArrivalSource, error) {
+	return nil, nil
+}
+
+// workloadArrivals resolves the config's workload driver to one repetition's
+// arrival source, treating a nil driver as the default interval workload.
+func workloadArrivals(cfg Config, seed uint64) (runtime.ArrivalSource, error) {
+	if cfg.Workload == nil {
+		return nil, nil
+	}
+	return cfg.Workload.Arrivals(cfg, seed)
+}

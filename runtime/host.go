@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/szte-dcs/tokenaccount/core"
 	"github.com/szte-dcs/tokenaccount/internal/peersample"
@@ -117,6 +118,12 @@ type Host struct {
 	delayedSend DelayedSender
 
 	envelopes map[int]*core.Envelope
+
+	// skippedInjections counts update injections that found no online node.
+	// Injection drivers run in coordinator context (the paper's Every loop and
+	// ScheduleArrivals chains both schedule run-global events), so a plain
+	// field suffices.
+	skippedInjections int64
 
 	// neighborScratch is reused across RandomOnlineNeighbor calls so the
 	// reactive hot path never allocates; like the protocol nodes, the Host
@@ -360,6 +367,54 @@ func (h *Host) RandomOnlineNeighbor(i int) (int, bool) {
 		return 0, false
 	}
 	return int(online[h.netRNG.Intn(len(online))]), true
+}
+
+// SkipInjection records one update injection that was abandoned because no
+// node was online to receive it. Heavy-churn and outage workloads lose
+// updates this way; the counter makes the loss visible instead of silent.
+func (h *Host) SkipInjection() { h.skippedInjections++ }
+
+// InjectionsSkipped returns the number of update injections abandoned because
+// the whole network was offline at injection time.
+func (h *Host) InjectionsSkipped() int64 { return h.skippedInjections }
+
+// ArrivalSource yields the event times of an arrival process: each Next call
+// returns the next absolute run time, non-decreasing, +Inf (or NaN) once the
+// process is exhausted. workload.Arrivals satisfies it; the runtime keeps its
+// own copy of the interface so it does not depend on the workload package.
+type ArrivalSource interface {
+	Next() float64
+}
+
+// ScheduleArrivals drives fn from an arrival process: fn runs once at every
+// time the source yields, as a run-global (coordinator) event, until the
+// source is exhausted or fn returns false. Times in the past are clamped to
+// the present and ties execute in schedule order, matching the Every loop's
+// behaviour for an equivalent fixed-interval source. Only one event is
+// pending at a time — the next arrival is sampled after fn returns — so
+// arbitrarily long processes cost O(1) queue space.
+func (h *Host) ScheduleArrivals(src ArrivalSource, fn func() bool) {
+	var step func()
+	var t float64
+	step = func() {
+		if !fn() {
+			return
+		}
+		next := src.Next()
+		if math.IsNaN(next) || math.IsInf(next, 1) {
+			return
+		}
+		if next < t {
+			next = t // defend the non-decreasing contract against bad sources
+		}
+		t = next
+		h.env.At(t, step)
+	}
+	t = src.Next()
+	if math.IsNaN(t) || math.IsInf(t, 1) {
+		return
+	}
+	h.env.At(t, step)
 }
 
 // shardIdx returns the shard owning the given node (always 0 unsharded).

@@ -1,6 +1,7 @@
 package runtime_test
 
 import (
+	"math"
 	"testing"
 
 	"github.com/szte-dcs/tokenaccount/apps/pushgossip"
@@ -352,5 +353,156 @@ func TestSamplePeriodicNominalGrid(t *testing.T) {
 			t.Errorf("sample %d at %v, want %v", i, ts, want)
 		}
 		want += delta
+	}
+}
+
+// sliceSource replays a fixed list of arrival times, +Inf afterwards.
+type sliceSource struct {
+	times []float64
+	i     int
+}
+
+func (s *sliceSource) Next() float64 {
+	if s.i >= len(s.times) {
+		return math.Inf(1)
+	}
+	t := s.times[s.i]
+	s.i++
+	return t
+}
+
+// TestScheduleArrivalsFiresAtSourceTimes checks that the arrival chain fires
+// fn exactly at the source's times, in order, and stops when the source is
+// exhausted.
+func TestScheduleArrivalsFiresAtSourceTimes(t *testing.T) {
+	env := newSimEnv(t, 20, 3)
+	host, err := runtime.NewHost(env, hostConfig(t, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 40, 40, 333.25, 700}
+	var got []float64
+	host.ScheduleArrivals(&sliceSource{times: want}, func() bool {
+		got = append(got, env.Now())
+		return true
+	})
+	if err := host.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d times, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("arrival %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestScheduleArrivalsStopsOnFalse checks that fn returning false cancels
+// the rest of the process.
+func TestScheduleArrivalsStopsOnFalse(t *testing.T) {
+	env := newSimEnv(t, 20, 3)
+	host, err := runtime.NewHost(env, hostConfig(t, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	host.ScheduleArrivals(&sliceSource{times: []float64{1, 2, 3, 4, 5}}, func() bool {
+		fired++
+		return fired < 3
+	})
+	if err := host.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3 (stopped by fn)", fired)
+	}
+}
+
+// TestScheduleArrivalsClampsDecreasingSource checks the defence against a
+// source that violates the non-decreasing contract: times never go backwards.
+func TestScheduleArrivalsClampsDecreasingSource(t *testing.T) {
+	env := newSimEnv(t, 20, 3)
+	host, err := runtime.NewHost(env, hostConfig(t, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []float64
+	host.ScheduleArrivals(&sliceSource{times: []float64{10, 5, 20}}, func() bool {
+		got = append(got, env.Now())
+		return true
+	})
+	if err := host.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10, 10, 20}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d times, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("arrival %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestScheduleArrivalsMatchesEveryLoop checks that an interval arrival chain
+// fires at the same virtual times as the runtime's Every loop with the same
+// spacing — the property that keeps the generic workload path aligned with
+// the paper's hardcoded injection drip.
+func TestScheduleArrivalsMatchesEveryLoop(t *testing.T) {
+	const every = delta / 10
+	run := func(schedule func(h *runtime.Host, record func() bool)) []float64 {
+		env := newSimEnv(t, 20, 3)
+		host, err := runtime.NewHost(env, hostConfig(t, 20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var times []float64
+		schedule(host, func() bool {
+			times = append(times, env.Now())
+			return true
+		})
+		if err := host.Run(40 * delta); err != nil {
+			t.Fatal(err)
+		}
+		return times
+	}
+	viaEvery := run(func(h *runtime.Host, record func() bool) {
+		h.Env().Every(every, every, record)
+	})
+	src := &sliceSource{}
+	next := 0.0
+	for i := 0; i < 1000; i++ {
+		next += every
+		src.times = append(src.times, next)
+	}
+	viaChain := run(func(h *runtime.Host, record func() bool) {
+		h.ScheduleArrivals(src, record)
+	})
+	if len(viaEvery) != len(viaChain) {
+		t.Fatalf("every fired %d, chain fired %d", len(viaEvery), len(viaChain))
+	}
+	for i := range viaEvery {
+		if viaEvery[i] != viaChain[i] {
+			t.Fatalf("firing %d: every at %v, chain at %v (must be bit-identical)", i, viaEvery[i], viaChain[i])
+		}
+	}
+}
+
+// TestInjectionsSkippedCounter checks the skipped-injection accounting.
+func TestInjectionsSkippedCounter(t *testing.T) {
+	host, err := runtime.NewHost(newSimEnv(t, 20, 3), hostConfig(t, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := host.InjectionsSkipped(); got != 0 {
+		t.Fatalf("fresh host reports %d skipped injections", got)
+	}
+	host.SkipInjection()
+	host.SkipInjection()
+	if got := host.InjectionsSkipped(); got != 2 {
+		t.Fatalf("InjectionsSkipped = %d, want 2", got)
 	}
 }

@@ -257,12 +257,16 @@ func (tr *Trace) WriteCSV(w io.Writer) error {
 
 // ReadCSV parses a trace written by WriteCSV (or an external trace converted
 // to the same format). n is the number of nodes; intervals referring to nodes
-// ≥ n are rejected.
+// ≥ n are rejected, as are malformed intervals — a negative start, an end not
+// after the start, or an end past the declared duration — each with the line
+// number, rather than silently normalizing bad data away.
 func ReadCSV(r io.Reader, n int) (*Trace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	tr := &Trace{Segments: make([]Segment, n)}
 	lineNo := 0
+	durationDeclared := false
+	maxEnd, maxEndLine := 0.0, 0
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -276,6 +280,7 @@ func ReadCSV(r io.Reader, n int) (*Trace, error) {
 					return nil, fmt.Errorf("trace: line %d: bad duration: %w", lineNo, err)
 				}
 				tr.Duration = d
+				durationDeclared = true
 			}
 			continue
 		}
@@ -301,10 +306,26 @@ func ReadCSV(r io.Reader, n int) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: line %d: bad end: %w", lineNo, err)
 		}
+		if start < 0 || math.IsNaN(start) || math.IsInf(start, 0) {
+			return nil, fmt.Errorf("trace: line %d: interval start %g, need ≥ 0 and finite", lineNo, start)
+		}
+		if end <= start || math.IsNaN(end) || math.IsInf(end, 0) {
+			return nil, fmt.Errorf("trace: line %d: interval end %g not after start %g", lineNo, end, start)
+		}
+		if durationDeclared && end > tr.Duration {
+			return nil, fmt.Errorf("trace: line %d: interval end %g extends past the declared duration %g", lineNo, end, tr.Duration)
+		}
+		if end > maxEnd {
+			maxEnd, maxEndLine = end, lineNo
+		}
 		tr.Segments[node].Intervals = append(tr.Segments[node].Intervals, Interval{Start: start, End: end})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("trace: reading CSV: %w", err)
+	}
+	if durationDeclared && maxEnd > tr.Duration {
+		// The duration header appeared after the offending interval line.
+		return nil, fmt.Errorf("trace: line %d: interval end %g extends past the declared duration %g", maxEndLine, maxEnd, tr.Duration)
 	}
 	if tr.Duration == 0 {
 		// Infer the duration from the data if no header was present.

@@ -169,10 +169,39 @@ func TestReadCSVErrors(t *testing.T) {
 		"0,0,x\n",
 		"x,0,10\n",
 		"# duration=zzz\n",
+		"0,10,10\n",                 // empty interval: end == start
+		"0,10,5\n",                  // inverted interval: end < start
+		"0,-3,10\n",                 // negative start
+		"0,0,Inf\n",                 // non-finite end
+		"# duration=50\n0,10,60\n",  // extends past the declared duration
+		"0,10,60\n# duration=50\n",  // same, duration declared after the data
+		"# duration=50\n0,NaN,10\n", // NaN start
 	}
 	for _, c := range cases {
 		if _, err := ReadCSV(strings.NewReader(c), 3); err == nil {
 			t.Errorf("ReadCSV accepted %q", c)
+		}
+	}
+}
+
+// TestReadCSVErrorLineNumbers checks that malformed intervals are reported
+// with the line they occur on, including when the duration header only
+// appears after the offending line.
+func TestReadCSVErrorLineNumbers(t *testing.T) {
+	cases := map[string]string{
+		"# duration=100\n0,0,10\n1,30,20\n":  "line 3",
+		"# duration=100\n0,0,10\n0,50,200\n": "line 3",
+		"0,0,10\n0,50,200\n# duration=100\n": "line 2",
+		"node,start,end\n0,-1,10\n":          "line 2",
+	}
+	for in, want := range cases {
+		_, err := ReadCSV(strings.NewReader(in), 3)
+		if err == nil {
+			t.Errorf("ReadCSV accepted %q", in)
+			continue
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("ReadCSV(%q) error %q does not name %s", in, err, want)
 		}
 	}
 }

@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// The modulators reshape any inner arrival process by a deterministic
+// rate-multiplier profile m(t) ≥ 0: the inner process runs in "operational
+// time" τ, and each inner arrival at τ is mapped to the run time t solving
+// M(t) = τ, where M(t) = ∫₀ᵗ m(s) ds is the cumulative profile. Where the
+// profile runs above 1 the arrivals compress together (higher instantaneous
+// rate); where it dips below 1 they stretch apart. Because the warp adds no
+// randomness of its own, modulated processes inherit the inner process's
+// determinism, and modulators compose with every Spec — a diurnal cycle over
+// Pareto bursts, a flash crowd on top of a diurnal Poisson, and so on.
+//
+// M has a closed form for both built-in profiles; its inverse is computed by
+// a safeguarded bisection that allocates nothing and converges to a relative
+// tolerance of ~1e-12, so replayed streams reproduce the warped times
+// bit-for-bit.
+
+// Diurnal modulates an inner arrival process with a sinusoidal day/night
+// profile m(t) = 1 + Amplitude·sin(2πt/Period): traffic peaks a quarter
+// period in and bottoms out three quarters in, with the mean rate over a
+// full period equal to the inner process's rate. Amplitude 1 silences the
+// trough completely.
+type Diurnal struct {
+	// Period is the cycle length in seconds (86400 for a daily cycle).
+	Period float64
+	// Amplitude is the relative swing in [0, 1].
+	Amplitude float64
+	// Inner is the arrival process being modulated.
+	Inner Spec
+}
+
+// NewDiurnal validates the parameters and returns the spec.
+func NewDiurnal(period, amplitude float64, inner Spec) (Diurnal, error) {
+	switch {
+	case !(period > 0) || math.IsInf(period, 1):
+		return Diurnal{}, fmt.Errorf("workload: diurnal period = %g, need > 0 and finite", period)
+	case amplitude < 0 || amplitude > 1 || math.IsNaN(amplitude):
+		return Diurnal{}, fmt.Errorf("workload: diurnal amplitude = %g outside [0, 1]", amplitude)
+	case inner == nil:
+		return Diurnal{}, fmt.Errorf("workload: diurnal inner process is nil")
+	}
+	return Diurnal{Period: period, Amplitude: amplitude, Inner: inner}, nil
+}
+
+// New implements Spec.
+func (d Diurnal) New(seed uint64) Arrivals {
+	return &warpedArrivals{inner: d.Inner.New(seed), mod: diurnalProfile{d.Period, d.Amplitude}}
+}
+
+// String renders the spec in its parseable form.
+func (d Diurnal) String() string {
+	return fmt.Sprintf("diurnal:%g:%g:%s", d.Period, d.Amplitude, d.Inner)
+}
+
+// diurnalProfile is the sinusoidal modulator. Its cumulative form is
+// M(t) = t + A·P/(2π)·(1 − cos(2πt/P)).
+type diurnalProfile struct {
+	period, amplitude float64
+}
+
+func (p diurnalProfile) cum(t float64) float64 {
+	w := 2 * math.Pi / p.period
+	return t + p.amplitude/w*(1-math.Cos(w*t))
+}
+
+// FlashCrowd modulates an inner arrival process with a sudden rate spike: the
+// profile is 1 until time At, jumps to Peak, and relaxes back to 1
+// exponentially with time constant Decay — the canonical breaking-news /
+// release-day traffic shape. Peak may be below 1 to model a correlated lull
+// instead.
+type FlashCrowd struct {
+	// At is the onset time of the spike in run seconds.
+	At float64
+	// Peak is the rate multiplier at onset (≥ 0; > 1 for a crowd).
+	Peak float64
+	// Decay is the exponential relaxation time constant in seconds.
+	Decay float64
+	// Inner is the arrival process being modulated.
+	Inner Spec
+}
+
+// NewFlashCrowd validates the parameters and returns the spec.
+func NewFlashCrowd(at, peak, decay float64, inner Spec) (FlashCrowd, error) {
+	switch {
+	case at < 0 || math.IsNaN(at) || math.IsInf(at, 1):
+		return FlashCrowd{}, fmt.Errorf("workload: flashcrowd onset = %g, need ≥ 0 and finite", at)
+	case peak < 0 || math.IsNaN(peak) || math.IsInf(peak, 1):
+		return FlashCrowd{}, fmt.Errorf("workload: flashcrowd peak = %g, need ≥ 0 and finite", peak)
+	case !(decay > 0) || math.IsInf(decay, 1):
+		return FlashCrowd{}, fmt.Errorf("workload: flashcrowd decay = %g, need > 0 and finite", decay)
+	case inner == nil:
+		return FlashCrowd{}, fmt.Errorf("workload: flashcrowd inner process is nil")
+	}
+	return FlashCrowd{At: at, Peak: peak, Decay: decay, Inner: inner}, nil
+}
+
+// New implements Spec.
+func (f FlashCrowd) New(seed uint64) Arrivals {
+	return &warpedArrivals{inner: f.Inner.New(seed), mod: flashProfile{f.At, f.Peak, f.Decay}}
+}
+
+// String renders the spec in its parseable form.
+func (f FlashCrowd) String() string {
+	return fmt.Sprintf("flashcrowd:%g:%g:%g:%s", f.At, f.Peak, f.Decay, f.Inner)
+}
+
+// flashProfile is the spike modulator. Its cumulative form is M(t) = t for
+// t ≤ At and M(t) = t + (Peak−1)·Decay·(1 − e^(−(t−At)/Decay)) beyond.
+type flashProfile struct {
+	at, peak, decay float64
+}
+
+func (p flashProfile) cum(t float64) float64 {
+	if t <= p.at {
+		return t
+	}
+	return t + (p.peak-1)*p.decay*(1-math.Exp(-(t-p.at)/p.decay))
+}
+
+// profile is the cumulative rate-multiplier of a modulator: nondecreasing,
+// with cum(0) = 0 and cum(t) − t bounded (both built-in profiles have mean
+// multiplier 1 up to a bounded excursion, so the doubling search in invert
+// always terminates).
+type profile interface {
+	cum(t float64) float64
+}
+
+// warpedArrivals maps each inner arrival from operational to run time by
+// inverting the cumulative profile.
+type warpedArrivals struct {
+	inner Arrivals
+	mod   profile
+	t     float64 // last returned run time: the inversion's lower bracket
+}
+
+func (a *warpedArrivals) Next() float64 {
+	tau := a.inner.Next()
+	if math.IsInf(tau, 1) || math.IsNaN(tau) {
+		return math.Inf(1)
+	}
+	a.t = invert(a.mod, tau, a.t)
+	return a.t
+}
+
+// invert solves cum(t) = tau for t ≥ lo by bracketed bisection. cum is
+// nondecreasing and cum(lo) ≤ tau (lo is the previous solution), so doubling
+// the step from lo brackets the root; bisection then converges to ~1e-12
+// relative tolerance, deterministically and without allocating.
+func invert(m profile, tau, lo float64) float64 {
+	hi := lo + 1
+	for step := 1.0; m.cum(hi) < tau; step *= 2 {
+		hi += step
+	}
+	for i := 0; i < 200; i++ {
+		mid := lo + (hi-lo)/2
+		if mid <= lo || mid >= hi {
+			break // the bracket collapsed to adjacent floats
+		}
+		if m.cum(mid) < tau {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo <= 1e-12*math.Max(1, hi) {
+			break
+		}
+	}
+	return hi
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/szte-dcs/tokenaccount/internal/rng"
+)
+
+// ParetoOnOff is the classic self-similar traffic source: the process
+// alternates between ON periods, during which arrivals occur as a Poisson
+// process at Rate, and silent OFF periods. Both period lengths are
+// Pareto-distributed with shape Alpha and means OnMean / OffMean; for
+// 1 < Alpha < 2 the period distribution is heavy-tailed with infinite
+// variance, and the superposition of such sources exhibits the long-range
+// dependence measured in real network traffic (Willinger et al.) — bursts at
+// every time scale, unlike the exponentially-mixing Poisson drip.
+//
+// The process starts in an ON period at time zero. Exponential arrival
+// credit left over when an ON period ends carries into the next ON period
+// (memorylessness makes this statistically identical to resampling while
+// keeping the sampler allocation-free and single-pass).
+type ParetoOnOff struct {
+	// Rate is the arrival rate during ON periods, in arrivals per second.
+	Rate float64
+	// OnMean and OffMean are the mean ON and OFF period lengths in seconds.
+	// OffMean = 0 degenerates to a plain Poisson process at Rate.
+	OnMean, OffMean float64
+	// Alpha is the Pareto shape of both period distributions; Alpha > 1 is
+	// required for the means to exist, and 1 < Alpha < 2 gives the
+	// heavy-tailed, self-similar regime.
+	Alpha float64
+}
+
+// NewParetoOnOff validates the parameters and returns the spec.
+func NewParetoOnOff(rate, onMean, offMean, alpha float64) (ParetoOnOff, error) {
+	switch {
+	case !(rate > 0) || math.IsInf(rate, 1):
+		return ParetoOnOff{}, fmt.Errorf("workload: pareto-onoff rate = %g, need > 0 and finite", rate)
+	case !(onMean > 0) || math.IsInf(onMean, 1):
+		return ParetoOnOff{}, fmt.Errorf("workload: pareto-onoff on-mean = %g, need > 0 and finite", onMean)
+	case offMean < 0 || math.IsNaN(offMean) || math.IsInf(offMean, 1):
+		return ParetoOnOff{}, fmt.Errorf("workload: pareto-onoff off-mean = %g, need ≥ 0 and finite", offMean)
+	case !(alpha > 1) || math.IsInf(alpha, 1):
+		return ParetoOnOff{}, fmt.Errorf("workload: pareto-onoff alpha = %g, need > 1 and finite (the Pareto mean must exist)", alpha)
+	}
+	return ParetoOnOff{Rate: rate, OnMean: onMean, OffMean: offMean, Alpha: alpha}, nil
+}
+
+// New implements Spec.
+func (p ParetoOnOff) New(seed uint64) Arrivals {
+	// A Pareto(xm, α) variable has mean α·xm/(α−1), so the scale parameter
+	// realizing a target mean is mean·(α−1)/α.
+	scale := (p.Alpha - 1) / p.Alpha
+	a := &onoffArrivals{
+		src:      rng.New(rng.Derive(seed, onoffStream)),
+		mean:     1 / p.Rate,
+		onXm:     p.OnMean * scale,
+		offXm:    p.OffMean * scale,
+		invAlpha: 1 / p.Alpha,
+	}
+	a.onEnd = a.pareto(a.onXm) // the first ON period starts at time zero
+	return a
+}
+
+// String renders the spec in its parseable form.
+func (p ParetoOnOff) String() string {
+	return fmt.Sprintf("pareto-onoff:%g:%g:%g:%g", p.Rate, p.OnMean, p.OffMean, p.Alpha)
+}
+
+type onoffArrivals struct {
+	src *rng.Source
+	// cur is the last arrival time (the active-time cursor), onEnd the end
+	// of the current ON period.
+	cur, onEnd float64
+	mean       float64 // mean inter-arrival gap during ON
+	onXm       float64 // Pareto scale of ON periods
+	offXm      float64 // Pareto scale of OFF periods
+	invAlpha   float64 // 1/α
+}
+
+// pareto draws a Pareto(xm, α) variable by inverse transform: xm·U^(−1/α)
+// with U in (0, 1]. xm = 0 (the OffMean = 0 degenerate case) yields 0.
+func (a *onoffArrivals) pareto(xm float64) float64 {
+	if xm == 0 {
+		return 0
+	}
+	u := 1 - a.src.Float64() // in (0, 1]
+	return xm * math.Pow(u, -a.invAlpha)
+}
+
+func (a *onoffArrivals) Next() float64 {
+	gap := a.src.ExpFloat64() * a.mean
+	for a.cur+gap > a.onEnd {
+		// The gap outlives the current ON period: spend what fits, skip the
+		// OFF period, and carry the remainder into the next ON period.
+		gap -= a.onEnd - a.cur
+		off := a.pareto(a.offXm)
+		on := a.pareto(a.onXm)
+		a.cur = a.onEnd + off
+		a.onEnd = a.cur + on
+	}
+	a.cur += gap
+	return a.cur
+}

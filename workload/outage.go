@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/szte-dcs/tokenaccount/internal/rng"
+	"github.com/szte-dcs/tokenaccount/netmodel"
+	"github.com/szte-dcs/tokenaccount/protocol"
+	"github.com/szte-dcs/tokenaccount/trace"
+)
+
+// Outages is the availability-side generator: correlated regional outages.
+// Time is cut into consecutive windows of Duration seconds, and in each
+// window each of Zones regions independently suffers a full-window outage
+// with probability P — a power cut, a backbone failure, a cloud region going
+// dark. Every node of an affected region drops at the window start and
+// rejoins at its end, so churn is correlated exactly the way the paper's
+// per-user smartphone trace can never produce.
+//
+// Nodes map to regions through the same hash as the netmodel Zones model
+// (netmodel.Zones{K: Zones}.Zone), so running "-network zones:K:..." with
+// "-scenario outage:K:..." makes network topology and failure domains
+// coincide: a zone that goes dark is precisely a zone behind slow inter-zone
+// links, and under the sharded runtime it is also a shard boundary.
+type Outages struct {
+	// Zones is the number of failure regions (≥ 1).
+	Zones int
+	// P is the per-region, per-window outage probability in [0, 1].
+	P float64
+	// Duration is the window (and therefore outage) length in seconds.
+	Duration float64
+}
+
+// NewOutages validates the parameters and returns the generator.
+func NewOutages(zones int, p, duration float64) (Outages, error) {
+	switch {
+	case zones < 1:
+		return Outages{}, fmt.Errorf("workload: outage zones = %d, need ≥ 1", zones)
+	case p < 0 || p > 1 || math.IsNaN(p):
+		return Outages{}, fmt.Errorf("workload: outage probability = %g outside [0, 1]", p)
+	case !(duration > 0) || math.IsInf(duration, 1):
+		return Outages{}, fmt.Errorf("workload: outage duration = %g, need > 0 and finite", duration)
+	}
+	return Outages{Zones: zones, P: p, Duration: duration}, nil
+}
+
+// String renders the generator in its parseable scenario form.
+func (o Outages) String() string {
+	return fmt.Sprintf("outage:%d:%g:%g", o.Zones, o.P, o.Duration)
+}
+
+// Trace realizes the outage process for n nodes over total seconds as an
+// ordinary availability trace, so the runtime's host lifecycle path consumes
+// it unchanged. The draw sequence is per-zone (one Bernoulli per window from
+// a zone-private stream derived from seed), so the realization for a fixed
+// seed is independent of n and of which nodes the hash places in each zone.
+func (o Outages) Trace(n int, total float64, seed uint64) (*trace.Trace, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: outage trace needs ≥ 1 node, got %d", n)
+	}
+	if !(total > 0) || math.IsInf(total, 1) {
+		return nil, fmt.Errorf("workload: outage trace duration = %g, need > 0 and finite", total)
+	}
+	windows := int(math.Ceil(total / o.Duration))
+	base := rng.Derive(seed, outageStream)
+
+	// Realize each zone's online intervals once (complement of its outage
+	// windows, with adjacent up-windows merged), then stamp them onto the
+	// zone's nodes.
+	zoneIntervals := make([][]trace.Interval, o.Zones)
+	for z := 0; z < o.Zones; z++ {
+		src := rng.New(rng.Derive(base, uint64(z)))
+		var ivs []trace.Interval
+		up := 0.0 // start of the current online stretch, valid while inUp
+		inUp := true
+		for w := 0; w < windows; w++ {
+			t := float64(w) * o.Duration
+			if src.Float64() < o.P {
+				if inUp && t > up {
+					ivs = append(ivs, trace.Interval{Start: up, End: t})
+				}
+				inUp = false
+			} else if !inUp {
+				up = t
+				inUp = true
+			}
+		}
+		if inUp && total > up {
+			ivs = append(ivs, trace.Interval{Start: up, End: total})
+		}
+		zoneIntervals[z] = ivs
+	}
+
+	zones := netmodel.Zones{K: o.Zones}
+	tr := &trace.Trace{Duration: total, Segments: make([]trace.Segment, n)}
+	for i := 0; i < n; i++ {
+		src := zoneIntervals[zones.Zone(protocol.NodeID(i))]
+		if len(src) == 0 {
+			continue
+		}
+		tr.Segments[i].Intervals = append([]trace.Interval(nil), src...)
+	}
+	return tr, nil
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses the colon-separated arrival-process grammar used by the
+// -workload flag and the stream headers:
+//
+//	interval:<every>                          the paper's fixed drip
+//	poisson:<rate>                            memoryless, rate arrivals/s
+//	pareto-onoff:<rate>:<on>:<off>:<alpha>    self-similar bursts
+//	diurnal:<period>:<amplitude>:<inner>      day/night cycle over any inner
+//	flashcrowd:<t>:<peak>:<decay>:<inner>     rate spike at t over any inner
+//	replay:<path>                             replay a recorded stream file
+//
+// Modulators nest: "diurnal:86400:0.8:pareto-onoff:2:30:90:1.5" is a valid
+// spec. Every Spec's String method renders exactly this grammar, so
+// ParseSpec(s.String()) reproduces s (replay excepted: it re-reads the file).
+func ParseSpec(s string) (Spec, error) {
+	kind, rest, _ := strings.Cut(strings.TrimSpace(s), ":")
+	switch kind {
+	case "interval":
+		f, err := specFloats(kind, rest, 1)
+		if err != nil {
+			return nil, err
+		}
+		return NewInterval(f[0])
+	case "poisson":
+		f, err := specFloats(kind, rest, 1)
+		if err != nil {
+			return nil, err
+		}
+		return NewPoisson(f[0])
+	case "pareto-onoff":
+		f, err := specFloats(kind, rest, 4)
+		if err != nil {
+			return nil, err
+		}
+		return NewParetoOnOff(f[0], f[1], f[2], f[3])
+	case "diurnal":
+		f, inner, err := specPrefix(kind, rest, 2)
+		if err != nil {
+			return nil, err
+		}
+		return NewDiurnal(f[0], f[1], inner)
+	case "flashcrowd":
+		f, inner, err := specPrefix(kind, rest, 3)
+		if err != nil {
+			return nil, err
+		}
+		return NewFlashCrowd(f[0], f[1], f[2], inner)
+	case "replay":
+		if rest == "" {
+			return nil, fmt.Errorf("workload: replay spec needs a file path: replay:<path>")
+		}
+		return NewReplay(rest)
+	case "":
+		return nil, fmt.Errorf("workload: empty arrival spec")
+	default:
+		return nil, fmt.Errorf("workload: unknown arrival process %q (known: interval, poisson, pareto-onoff, diurnal, flashcrowd, replay)", kind)
+	}
+}
+
+// specFloats parses exactly n colon-separated float fields.
+func specFloats(kind, rest string, n int) ([]float64, error) {
+	parts := strings.Split(rest, ":")
+	if rest == "" || len(parts) != n {
+		return nil, fmt.Errorf("workload: %s spec needs %d parameter(s), got %q", kind, n, rest)
+	}
+	out := make([]float64, n)
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s spec parameter %d: bad number %q", kind, i+1, p)
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+// specPrefix parses n leading float fields and recursively parses what
+// follows them as the inner spec of a modulator.
+func specPrefix(kind, rest string, n int) ([]float64, Spec, error) {
+	parts := strings.SplitN(rest, ":", n+1)
+	if len(parts) != n+1 {
+		return nil, nil, fmt.Errorf("workload: %s spec needs %d parameter(s) and an inner process, got %q", kind, n, rest)
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		f, err := strconv.ParseFloat(strings.TrimSpace(parts[i]), 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("workload: %s spec parameter %d: bad number %q", kind, i+1, parts[i])
+		}
+		out[i] = f
+	}
+	inner, err := ParseSpec(parts[n])
+	if err != nil {
+		return nil, nil, fmt.Errorf("workload: %s inner process: %w", kind, err)
+	}
+	return out, inner, nil
+}
+
+// ParseOutages parses the availability-side scenario grammar
+// "outage:<zones>:<p>:<duration>" given its colon-separated arguments (the
+// fields after the "outage" name).
+func ParseOutages(args []string) (Outages, error) {
+	if len(args) != 3 {
+		return Outages{}, fmt.Errorf("workload: outage scenario needs zones:p:duration, got %d argument(s)", len(args))
+	}
+	zones, err := strconv.Atoi(strings.TrimSpace(args[0]))
+	if err != nil {
+		return Outages{}, fmt.Errorf("workload: outage zones: bad integer %q", args[0])
+	}
+	p, err := strconv.ParseFloat(strings.TrimSpace(args[1]), 64)
+	if err != nil {
+		return Outages{}, fmt.Errorf("workload: outage probability: bad number %q", args[1])
+	}
+	d, err := strconv.ParseFloat(strings.TrimSpace(args[2]), 64)
+	if err != nil {
+		return Outages{}, fmt.Errorf("workload: outage duration: bad number %q", args[2])
+	}
+	return NewOutages(zones, p, d)
+}

@@ -1,0 +1,141 @@
+// Package workload generates the traffic and availability patterns an
+// experiment runs under. The paper evaluates the token account strategies
+// under exactly one traffic pattern — one update injection every fixed
+// InjectionInterval — and one availability pattern (the smartphone churn
+// trace). This package generalizes both into composable, seed-deterministic
+// generators so that large-scale runs can face workloads worth running at
+// scale: bursty, diurnal, regionally correlated traffic instead of a
+// constant drip.
+//
+// Two generator families live here:
+//
+//   - Arrival processes (Spec / Arrivals) produce the update injection
+//     times: Interval (the paper's fixed drip), Poisson, self-similar
+//     ParetoOnOff bursts, and the Diurnal and FlashCrowd modulators that
+//     reshape any inner process by time-warping.
+//   - Availability processes produce churn: Outages generates correlated
+//     regional outages aligned with the netmodel zone hash and feeds the
+//     ordinary trace.Trace, so the runtime's host lifecycle path is reused
+//     unchanged.
+//
+// Determinism contract: a Spec is an immutable value; Spec.New(seed) builds
+// a fresh sampler whose entire output is a pure function of the seed (leaf
+// processes derive their private rng streams with rng.Derive, modulators add
+// no randomness of their own), so for a fixed seed the sampled workload is
+// bit-for-bit reproducible across runs, runtimes and shard counts. Sampling
+// (Arrivals.Next) allocates nothing, preserving the simulator's
+// zero-allocation hot path. Any generated workload can additionally be
+// recorded to a Stream and replayed bit-identically (see stream.go), which
+// keeps sweep rows comparable across engine changes.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/szte-dcs/tokenaccount/internal/rng"
+)
+
+// Arrivals is a stateful sampler producing one arrival process realization:
+// each Next call returns the next arrival time in seconds, non-decreasing
+// across calls. An exhausted process (a replayed stream past its end)
+// returns +Inf forever. Next must not allocate. Samplers are not safe for
+// concurrent use; build one per run with Spec.New.
+type Arrivals interface {
+	Next() float64
+}
+
+// Spec is an immutable description of an arrival process. Specs are plain
+// value types comparable with ==, render their parseable form through
+// String (ParseSpec(s.String()) reproduces the spec), and build independent
+// samplers with New.
+type Spec interface {
+	// New builds a fresh sampler. The entire arrival sequence is a pure
+	// function of seed; pass ArrivalSeed(runSeed) so workload randomness
+	// stays decorrelated from the run's node, phase and network streams.
+	New(seed uint64) Arrivals
+	// String renders the spec in the colon-separated form ParseSpec accepts.
+	String() string
+}
+
+// arrivalStream salts the experiment-seed derivation ("wkld" in ASCII) so
+// workload randomness is independent of every runtime stream.
+const arrivalStream uint64 = 0x776b6c64
+
+// Per-family stream tags, so nested specs sharing one arrival seed still
+// draw from decorrelated streams.
+const (
+	poissonStream uint64 = 0x706f6973 // "pois"
+	onoffStream   uint64 = 0x6f6e6f66 // "onof"
+	outageStream  uint64 = 0x6f757467 // "outg"
+)
+
+// ArrivalSeed derives the workload arrival seed of one run from the run's
+// experiment seed. The experiment layer and cmd/tracegen both apply it, so a
+// stream recorded with tracegen -seed S is bit-identical to the arrivals an
+// experiment with seed S samples live.
+func ArrivalSeed(runSeed uint64) uint64 { return rng.Derive(runSeed, arrivalStream) }
+
+// Interval is the paper's traffic pattern: one arrival every Every seconds,
+// at Every, 2·Every, 3·Every, ... It draws no randomness; the times
+// accumulate by repeated addition, matching the runtime's Every loop
+// bit-for-bit.
+type Interval struct {
+	Every float64
+}
+
+// NewInterval validates the spacing and returns the spec.
+func NewInterval(every float64) (Interval, error) {
+	if !(every > 0) || math.IsInf(every, 1) {
+		return Interval{}, fmt.Errorf("workload: interval spacing = %g, need > 0 and finite", every)
+	}
+	return Interval{Every: every}, nil
+}
+
+// New implements Spec.
+func (iv Interval) New(uint64) Arrivals { return &intervalArrivals{every: iv.Every} }
+
+// String renders the spec in its parseable form.
+func (iv Interval) String() string { return fmt.Sprintf("interval:%g", iv.Every) }
+
+type intervalArrivals struct {
+	t, every float64
+}
+
+func (a *intervalArrivals) Next() float64 {
+	a.t += a.every
+	return a.t
+}
+
+// Poisson is the memoryless arrival process with the given rate in arrivals
+// per second: independent exponential inter-arrival gaps, the classic model
+// for aggregate traffic from many independent sources.
+type Poisson struct {
+	Rate float64
+}
+
+// NewPoisson validates the rate and returns the spec.
+func NewPoisson(rate float64) (Poisson, error) {
+	if !(rate > 0) || math.IsInf(rate, 1) {
+		return Poisson{}, fmt.Errorf("workload: poisson rate = %g, need > 0 and finite", rate)
+	}
+	return Poisson{Rate: rate}, nil
+}
+
+// New implements Spec.
+func (p Poisson) New(seed uint64) Arrivals {
+	return &poissonArrivals{src: rng.New(rng.Derive(seed, poissonStream)), mean: 1 / p.Rate}
+}
+
+// String renders the spec in its parseable form.
+func (p Poisson) String() string { return fmt.Sprintf("poisson:%g", p.Rate) }
+
+type poissonArrivals struct {
+	src     *rng.Source
+	t, mean float64
+}
+
+func (a *poissonArrivals) Next() float64 {
+	a.t += a.src.ExpFloat64() * a.mean
+	return a.t
+}
