@@ -1,0 +1,172 @@
+package blockcast
+
+import "github.com/szte-dcs/tokenaccount/protocol"
+
+// The wire codec: a blockcast message packs into one 64-bit word under
+// protocol.KindBlockcast, so the simulation message path stays
+// allocation-free like the paper applications.
+//
+// Word layout (most significant bits first):
+//
+//	bits 62–63  message kind: 0 announce, 1 pull, 2 block (3 is invalid)
+//	bits 40–61  batch size (22 bits)
+//	bits  0–39  block height (40 bits)
+//
+// Valid messages obey the protocol's structural invariants, and the decoder
+// enforces them (a corrupted or adversarial word is rejected, never
+// panicking): a pull carries no batch and requests an existing height; a
+// block has a height and at least one transaction; an announce of the empty
+// chain carries no batch, any other announce names its head block's batch.
+const (
+	heightBits = 40
+	batchBits  = 22
+
+	// MaxHeight is the highest encodable block height: ~10^12 blocks.
+	MaxHeight = 1<<heightBits - 1
+	// MaxBatch is the largest encodable transaction batch.
+	MaxBatch = 1<<batchBits - 1
+)
+
+// MsgKind discriminates the three wire messages.
+type MsgKind uint8
+
+const (
+	// MsgAnnounce advertises the sender's head (gossiped, token-paid).
+	MsgAnnounce MsgKind = iota
+	// MsgPull requests the block announced at Height (direct, free).
+	MsgPull
+	// MsgBlock carries the server's head block (direct, token-gated).
+	MsgBlock
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case MsgAnnounce:
+		return "announce"
+	case MsgPull:
+		return "pull"
+	case MsgBlock:
+		return "block"
+	}
+	return "invalid"
+}
+
+// Msg is a decoded blockcast wire message.
+type Msg struct {
+	Kind   MsgKind
+	Height uint64
+	Batch  uint32
+}
+
+// valid reports whether the message obeys the structural invariants the
+// decoder enforces (see the word layout comment).
+func (m Msg) valid() bool {
+	if m.Height > MaxHeight || m.Batch > MaxBatch {
+		return false
+	}
+	switch m.Kind {
+	case MsgAnnounce:
+		// The batch names the head block's size: absent iff the chain is
+		// empty.
+		return (m.Height == 0) == (m.Batch == 0)
+	case MsgPull:
+		return m.Height >= 1 && m.Batch == 0
+	case MsgBlock:
+		return m.Height >= 1 && m.Batch >= 1
+	}
+	return false
+}
+
+// Word encodes the message. It panics on a structurally invalid message —
+// out-of-range fields or a kind/field combination the protocol never sends —
+// because only the package's own code builds messages.
+func (m Msg) Word() uint64 {
+	if !m.valid() {
+		panic("blockcast: encoding an invalid message")
+	}
+	return uint64(m.Kind)<<62 | uint64(m.Batch)<<heightBits | m.Height
+}
+
+// Payload wraps the message as a word-encoded protocol payload.
+func (m Msg) Payload() protocol.Payload {
+	return protocol.WordPayload(protocol.KindBlockcast, m.Word())
+}
+
+// MsgFromWord decodes a wire word. It rejects structurally invalid words —
+// the unused kind, out-of-range combinations like a pull with a batch or a
+// block without one — by returning ok=false; it never panics, whatever the
+// word (the fuzz target pins this).
+func MsgFromWord(word uint64) (Msg, bool) {
+	m := Msg{
+		Kind:   MsgKind(word >> 62),
+		Batch:  uint32(word >> heightBits & MaxBatch),
+		Height: word & MaxHeight,
+	}
+	if !m.valid() {
+		return Msg{}, false
+	}
+	return m, true
+}
+
+// MsgFromPayload decodes a blockcast message from either payload
+// representation: the word form used inside the simulator, or the boxed Msg
+// an out-of-process transport reconstructs via Payload.Value.
+func MsgFromPayload(p protocol.Payload) (Msg, bool) {
+	switch p.Kind {
+	case protocol.KindBlockcast:
+		return MsgFromWord(p.Word)
+	case protocol.KindBoxed:
+		if m, ok := p.Box.(Msg); ok && m.valid() {
+			return m, true
+		}
+	}
+	return Msg{}, false
+}
+
+// The wire-size model, in bytes. The numbers follow the shape of a ByzCoin
+// conode's traffic: announces and pulls are small fixed-size control
+// messages (a height, a hash, a signature), while a block weighs its header
+// plus its batched transactions — the size of a typical signed transfer
+// transaction. The absolute values matter less than the ratio: blocks are
+// two to three orders of magnitude heavier than control traffic, which is
+// what makes byte-level accounting diverge from message counting.
+const (
+	// AnnounceBytes is the wire size of an announce.
+	AnnounceBytes = 96
+	// PullBytes is the wire size of a pull request.
+	PullBytes = 40
+	// BlockHeaderBytes is the fixed part of a block message.
+	BlockHeaderBytes = 200
+	// TxBytes is the per-transaction weight of a block message.
+	TxBytes = 250
+)
+
+// WireSize returns the modeled wire size in bytes of the message encoded in
+// word. Invalid words weigh one byte (the protocol never sends them; the
+// floor only keeps the accounting total monotone for arbitrary input).
+func WireSize(word uint64) int {
+	m, ok := MsgFromWord(word)
+	if !ok {
+		return 1
+	}
+	switch m.Kind {
+	case MsgPull:
+		return PullBytes
+	case MsgBlock:
+		return BlockHeaderBytes + TxBytes*int(m.Batch)
+	}
+	return AnnounceBytes
+}
+
+func decodeMsg(word uint64) any {
+	m, ok := MsgFromWord(word)
+	if !ok {
+		return nil
+	}
+	return m
+}
+
+func init() {
+	protocol.RegisterPayloadDecoder(protocol.KindBlockcast, decodeMsg)
+	protocol.RegisterPayloadSizer(protocol.KindBlockcast, WireSize)
+}

@@ -1,0 +1,142 @@
+package blockcast
+
+import (
+	"testing"
+
+	"github.com/szte-dcs/tokenaccount/protocol"
+)
+
+func TestMsgWordRoundTrip(t *testing.T) {
+	cases := []Msg{
+		{Kind: MsgAnnounce, Height: 0, Batch: 0},
+		{Kind: MsgAnnounce, Height: 1, Batch: 1},
+		{Kind: MsgAnnounce, Height: 12345, Batch: 64},
+		{Kind: MsgAnnounce, Height: MaxHeight, Batch: MaxBatch},
+		{Kind: MsgPull, Height: 1, Batch: 0},
+		{Kind: MsgPull, Height: MaxHeight, Batch: 0},
+		{Kind: MsgBlock, Height: 1, Batch: 1},
+		{Kind: MsgBlock, Height: 999, Batch: MaxBatch},
+	}
+	for _, m := range cases {
+		got, ok := MsgFromWord(m.Word())
+		if !ok || got != m {
+			t.Errorf("round trip of %+v: got %+v, ok=%v", m, got, ok)
+		}
+		if got, ok := MsgFromPayload(m.Payload()); !ok || got != m {
+			t.Errorf("payload round trip of %+v: got %+v, ok=%v", m, got, ok)
+		}
+		// The registered decoder must agree with MsgFromWord.
+		if v, ok := m.Payload().Value().(Msg); !ok || v != m {
+			t.Errorf("Value() of %+v = %#v", m, m.Payload().Value())
+		}
+		// The boxed form (a wire transport's reconstruction) decodes too.
+		if got, ok := MsgFromPayload(protocol.BoxPayload(m)); !ok || got != m {
+			t.Errorf("boxed round trip of %+v: got %+v, ok=%v", m, got, ok)
+		}
+	}
+}
+
+// TestMsgFromWordRejectsInvalid pins the fuzz-derived hardening contract:
+// structurally invalid words decode to ok=false (and a nil Value), never a
+// panic and never a half-valid message.
+func TestMsgFromWordRejectsInvalid(t *testing.T) {
+	invalid := map[string]uint64{
+		"unused kind 3":          3 << 62,
+		"unused kind, max field": 3<<62 | MaxHeight,
+		"pull with batch":        Msg{Kind: MsgPull, Height: 1}.Word() | 1<<heightBits,
+		"pull of height 0":       1 << 62,
+		"block of height 0":      Msg{Kind: MsgBlock, Height: 1, Batch: 1}.Word() &^ uint64(MaxHeight),
+		"block without batch":    Msg{Kind: MsgBlock, Height: 7, Batch: 1}.Word() &^ (uint64(MaxBatch) << heightBits),
+		"genesis announce+batch": Msg{Kind: MsgAnnounce, Height: 1, Batch: 1}.Word() &^ uint64(MaxHeight),
+		"announce without batch": Msg{Kind: MsgAnnounce, Height: 9, Batch: 2}.Word() &^ (uint64(MaxBatch) << heightBits),
+	}
+	for name, word := range invalid {
+		if m, ok := MsgFromWord(word); ok {
+			t.Errorf("%s (word %#x) decoded to %+v, want rejection", name, word, m)
+		}
+		if v := protocol.WordPayload(protocol.KindBlockcast, word).Value(); v != nil {
+			t.Errorf("%s: Value() = %#v, want nil", name, v)
+		}
+	}
+	// A boxed message is validated the same way.
+	if _, ok := MsgFromPayload(protocol.BoxPayload(Msg{Kind: MsgPull, Height: 0})); ok {
+		t.Error("invalid boxed message decoded")
+	}
+	if _, ok := MsgFromPayload(protocol.BoxPayload("not a msg")); ok {
+		t.Error("foreign boxed value decoded")
+	}
+}
+
+func TestMsgWordPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("encoding an invalid message did not panic")
+		}
+	}()
+	Msg{Kind: MsgPull, Height: 1, Batch: 1}.Word()
+}
+
+func TestWireSize(t *testing.T) {
+	cases := []struct {
+		m    Msg
+		want int
+	}{
+		{Msg{Kind: MsgAnnounce, Height: 0, Batch: 0}, AnnounceBytes},
+		{Msg{Kind: MsgAnnounce, Height: 5, Batch: 64}, AnnounceBytes},
+		{Msg{Kind: MsgPull, Height: 5}, PullBytes},
+		{Msg{Kind: MsgBlock, Height: 5, Batch: 1}, BlockHeaderBytes + TxBytes},
+		{Msg{Kind: MsgBlock, Height: 5, Batch: 64}, BlockHeaderBytes + 64*TxBytes},
+	}
+	for _, c := range cases {
+		if got := WireSize(c.m.Word()); got != c.want {
+			t.Errorf("WireSize(%+v) = %d, want %d", c.m, got, c.want)
+		}
+		// The registered sizer is the same function, reachable through the
+		// protocol's slow-path lookup.
+		if got := protocol.PayloadSize(c.m.Payload()); got != c.want {
+			t.Errorf("PayloadSize(%+v) = %d, want %d", c.m, got, c.want)
+		}
+	}
+	if got := WireSize(3 << 62); got != 1 {
+		t.Errorf("WireSize of an invalid word = %d, want 1", got)
+	}
+}
+
+func TestMsgKindString(t *testing.T) {
+	for kind, want := range map[MsgKind]string{
+		MsgAnnounce: "announce", MsgPull: "pull", MsgBlock: "block", 3: "invalid",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("MsgKind(%d).String() = %q, want %q", kind, got, want)
+		}
+	}
+}
+
+// FuzzMsgWord is the codec fuzz target of the CI smoke step: decoding any
+// word must never panic, and every accepted word must round-trip
+// bit-for-bit through re-encoding (the codec is a bijection between valid
+// words and valid messages). The size model must stay positive either way.
+func FuzzMsgWord(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(Msg{Kind: MsgAnnounce, Height: 12345, Batch: 64}.Word())
+	f.Add(Msg{Kind: MsgPull, Height: 1}.Word())
+	f.Add(Msg{Kind: MsgBlock, Height: MaxHeight, Batch: MaxBatch}.Word())
+	f.Add(uint64(3) << 62)
+	f.Add(^uint64(0))
+	f.Fuzz(func(t *testing.T, word uint64) {
+		m, ok := MsgFromWord(word)
+		if ok {
+			if m.Word() != word {
+				t.Errorf("accepted word %#x re-encodes to %#x", word, m.Word())
+			}
+		} else if m != (Msg{}) {
+			t.Errorf("rejected word %#x left a partial message %+v", word, m)
+		}
+		if size := WireSize(word); size < 1 {
+			t.Errorf("WireSize(%#x) = %d, want ≥ 1", word, size)
+		}
+		if v := protocol.WordPayload(protocol.KindBlockcast, word).Value(); (v != nil) != ok {
+			t.Errorf("Value() presence %v disagrees with decoder ok=%v for word %#x", v != nil, ok, word)
+		}
+	})
+}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"runtime"
 	"testing"
 
@@ -43,6 +44,7 @@ import (
 	"github.com/szte-dcs/tokenaccount/simnet"
 	"github.com/szte-dcs/tokenaccount/workload"
 
+	"github.com/szte-dcs/tokenaccount/apps/blockcast"
 	"github.com/szte-dcs/tokenaccount/apps/gossiplearning"
 )
 
@@ -107,10 +109,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		check        = fs.Bool("check", false, "fail if a guarded benchmark regresses against the -baseline report")
 		baselinePath = fs.String("baseline", "BENCH.json", "baseline report for -check")
 		quiet        = fs.Bool("q", false, "suppress per-benchmark progress on stderr")
+		only         = fs.String("only", "", "run only the benchmarks whose name matches this regexp (the -check gates skip missing entries)")
 		baseline     *Report
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	var filter *regexp.Regexp
+	if *only != "" {
+		var err error
+		filter, err = regexp.Compile(*only)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchreport: -only:", err)
+			return 2
+		}
 	}
 	if *check {
 		var err error
@@ -128,6 +140,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		NumCPU:     runtime.NumCPU(),
 	}
 	for _, s := range specs() {
+		if filter != nil && !filter.MatchString(s.name) {
+			continue
+		}
 		if !*quiet {
 			fmt.Fprintf(stderr, "benchreport: running %s...\n", s.name)
 		}
@@ -361,6 +376,19 @@ func specs() []spec {
 			},
 		})
 	}
+	// The blockcast message path end to end: word-encoded announce/pull/block
+	// gossip, transaction batching, and the periodic commit scan, on both
+	// allocation-free queue kinds. Guarded: steady-state block dissemination
+	// is committed to stay off the allocator, per-message size accounting
+	// included.
+	for _, kind := range []sim.QueueKind{sim.QueueSlab, sim.QueueCalendar} {
+		kind := kind
+		out = append(out, spec{
+			name:    "BlockcastMessagePath/" + kind.String(),
+			guarded: true,
+			bench:   func(short bool) func(*testing.B) { return blockcastBench(kind, short) },
+		})
+	}
 	// The sharded engine on a Figure 4/5-style zoned workload: identical
 	// model and scale across shard counts, so the entries read directly as a
 	// speedup column. shards=1 routes through the sequential engine and
@@ -501,6 +529,99 @@ func throughputBench(kind sim.QueueKind, network netmodel.Model, short bool) fun
 		}
 		b.StopTimer()
 		b.ReportMetric(float64(net.Engine().Processed()-start)/float64(b.N), "events/op")
+	}
+}
+
+// blockcastNet adapts a runtime.Host to blockcast.Net for the standalone
+// benchmark assembly (the experiment driver plays this role in real runs).
+type blockcastNet struct{ host *hostrt.Host }
+
+func (n *blockcastNet) Send(from, to protocol.NodeID, p protocol.Payload) {
+	n.host.Send(from, to, p)
+}
+
+func (n *blockcastNet) Respond(from, to protocol.NodeID, p protocol.Payload) bool {
+	return n.host.Node(int(from)).RespondPayload(to, p)
+}
+
+// blockcastBench measures the steady-state blockcast message path like
+// throughputBench: assembly and warm-up outside the timed region, one op
+// advances virtual time by one proactive period. The run-global loops mirror
+// the experiment driver: ten transaction arrivals per period, a rotating
+// proposer each period, a commit scan every quarter period. Its allocs/op is
+// the committed zero-allocation guarantee of the blockcast path — wire
+// encoding, pull round trips, token-gated block responses, byte accounting,
+// batching and the commit scan included.
+func blockcastBench(kind sim.QueueKind, short bool) func(b *testing.B) {
+	n, warmup := 1000, 50
+	if short {
+		n, warmup = 300, 50
+	}
+	return func(b *testing.B) {
+		const delta = 172.8
+		g, err := overlay.RandomKOut(n, 20, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		env, err := simnet.NewEnv(simnet.EnvConfig{N: n, Seed: 1, TransferDelay: 1.728, Queue: kind})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer env.Close()
+		net := &blockcastNet{}
+		states := make([]*blockcast.State, n)
+		host, err := hostrt.NewHost(env, hostrt.Config{
+			Graph:    g,
+			Strategy: func(int) core.Strategy { return core.MustRandomized(5, 10) },
+			NewApp: func(i int) protocol.Application {
+				states[i] = blockcast.NewState(protocol.NodeID(i), net)
+				return states[i]
+			},
+			Delta: delta,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		net.host = host
+		chain, err := blockcast.NewChain(64, 2.0/3.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		head := func(i int) uint64 {
+			h, _ := states[i].Head()
+			return h
+		}
+		env.Every(delta/10, delta/10, func() bool {
+			chain.Submit(1)
+			return true
+		})
+		env.Every(delta/4, delta/4, func() bool {
+			chain.CheckCommits(env.Now(), n, head, nil)
+			return true
+		})
+		round := 0
+		env.Every(delta, delta, func() bool {
+			if !chain.TryPropose(env.Now(), states[round%n]) {
+				chain.SkipProposal()
+			}
+			round++
+			return true
+		})
+		horizon := float64(warmup) * delta
+		if err := env.Run(horizon); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := env.Processed()
+		for i := 0; i < b.N; i++ {
+			horizon += delta
+			if err := env.Run(horizon); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(env.Processed()-start)/float64(b.N), "events/op")
 	}
 }
 

@@ -7,6 +7,7 @@
 //	paperfigs -fig 3              # smartphone trace scenario
 //	paperfigs -fig 4              # scalability run
 //	paperfigs -fig 5              # average token balance vs. prediction
+//	paperfigs -fig 6              # blockcast commit latency and burst bytes
 //	paperfigs -fig all -full      # everything at the paper's full scale
 //
 // Without -full the figures are reproduced at a reduced scale (smaller N,
@@ -35,7 +36,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("paperfigs", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5 or all")
+		fig     = fs.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, 6 or all")
 		n       = fs.Int("n", 0, "override network size (0 = scaled default)")
 		seed    = fs.Uint64("seed", 1, "random seed")
 		reps    = fs.Int("reps", 0, "override repetitions (0 = scaled default)")
@@ -54,9 +55,10 @@ func run(args []string, w io.Writer) error {
 		"3": func() error { return figure3(w, opt) },
 		"4": func() error { return figure4(w, opt) },
 		"5": func() error { return figure5(w, opt) },
+		"6": func() error { return figure6(w, opt) },
 	}
 	if *fig == "all" {
-		for _, id := range []string{"1", "2", "3", "4", "5"} {
+		for _, id := range []string{"1", "2", "3", "4", "5", "6"} {
 			if err := runners[id](); err != nil {
 				return err
 			}
@@ -65,7 +67,7 @@ func run(args []string, w io.Writer) error {
 	}
 	runner, ok := runners[*fig]
 	if !ok {
-		return fmt.Errorf("unknown figure %q (want 1-5 or all)", *fig)
+		return fmt.Errorf("unknown figure %q (want 1-6 or all)", *fig)
 	}
 	return runner()
 }
@@ -137,6 +139,27 @@ func figure4(w io.Writer, opt experiment.Options) error {
 			return err
 		}
 	}
+	return nil
+}
+
+func figure6(w io.Writer, opt experiment.Options) error {
+	fmt.Fprintln(w, "### Figure 6: blockcast block dissemination — commit latency and burst bytes")
+	rows, err := experiment.BlockcastFigure(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "scenario\tnetwork\tworkload\tstrategy\tmsgs_per_node_per_round\tbytes_per_node_per_round\tcommit_latency_p50_s\tcommit_latency_p99_s\tpeak_node_burst_bytes\tsteady_state_backlog")
+	for _, row := range rows {
+		res := row.Result
+		cfg := res.Config
+		bytesPerNodeRound := res.BytesSent / float64(cfg.N) / float64(cfg.Rounds)
+		p50, p99, burst := res.Summary[0], res.Summary[1], res.Summary[2]
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%.3f\t%.1f\t%g\t%g\t%g\t%g\n",
+			experiment.DriverLabel(row.Scenario), experiment.DriverLabel(row.Network),
+			experiment.DriverLabel(row.Workload), row.Strategy.Label(),
+			res.MessagesPerNodePerRound, bytesPerNodeRound, p50, p99, burst, res.SteadyStateMetric)
+	}
+	fmt.Fprintln(w)
 	return nil
 }
 

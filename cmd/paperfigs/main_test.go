@@ -44,6 +44,30 @@ func TestFigure5Output(t *testing.T) {
 	}
 }
 
+func TestFigure6Output(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-fig", "6", "-n", "60", "-rounds", "20", "-reps", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"Figure 6", "commit_latency_p50_s", "peak_node_burst_bytes",
+		"failure-free\tzones:4:0.5:3\tpoisson:0.25\tproactive",
+		"smartphone-trace", "lossy:0.01:uniform:1:2", "flashcrowd:600:10:120:poisson:0.25",
+		"reactive(k=1)", "simple(C=10)", "generalized(A=5,C=10)", "randomized(A=5,C=10)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Figure 6 output missing %q", want)
+		}
+	}
+	// Title, column header and a trailing blank line frame the
+	// 2 scenarios × 2 networks × 2 workloads × 5 strategies data rows.
+	if rows := strings.Count(got, "\n") - 3; rows != 40 {
+		t.Errorf("Figure 6 has %d data rows, want 40", rows)
+	}
+}
+
 func TestUnknownFigure(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-fig", "9"}, &out); err == nil {

@@ -131,6 +131,17 @@ func run(args []string, w io.Writer) error {
 	if showNet {
 		header = "network\t" + header
 	}
+	// Applications with scalar summary columns (SummaryReporter) append them
+	// plus the byte total; the paper applications keep their historical
+	// columns.
+	var summaryCols []string
+	if sr, ok := app.(experiment.SummaryReporter); ok {
+		summaryCols = sr.SummaryColumns()
+		header += "\tbytes_per_node_per_round"
+		for _, col := range summaryCols {
+			header += "\t" + col
+		}
+	}
 	fmt.Fprintln(w, header)
 	// Grid settings (network × workload × strategy) are embarrassingly
 	// parallel: simulate them on a bounded worker pool and print the rows in
@@ -188,6 +199,16 @@ func run(args []string, w io.Writer) error {
 			j.spec.Label(), res.MessagesPerNodePerRound, res.SteadyStateMetric, res.FinalMetric)
 		if showWl {
 			fmt.Fprintf(w, "\t%g", res.InjectionsSkipped)
+		}
+		if summaryCols != nil {
+			fmt.Fprintf(w, "\t%.3f", res.BytesSent/float64(*n)/float64(*rounds))
+			for k := range summaryCols {
+				v := 0.0
+				if k < len(res.Summary) {
+					v = res.Summary[k]
+				}
+				fmt.Fprintf(w, "\t%g", v)
+			}
 		}
 		fmt.Fprintln(w)
 	}

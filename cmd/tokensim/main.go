@@ -53,9 +53,26 @@ func run(args []string, w io.Writer) error {
 		audit        = fs.Bool("audit", false, "verify the rate-limit envelope on sampled nodes")
 		tokens       = fs.Bool("tokens", false, "also print the average token balance series")
 		summaryOnly  = fs.Bool("summary", false, "print only the summary line, not the series")
+		list         = fs.Bool("list", false, "list the registered drivers of all six experiment dimensions and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		for _, dim := range []struct {
+			name    string
+			entries []string
+		}{
+			{"applications", experiment.Applications()},
+			{"scenarios", experiment.Scenarios()},
+			{"strategies", experiment.StrategyKinds()},
+			{"runtimes", experiment.Runtimes()},
+			{"networks", experiment.Networks()},
+			{"workloads", experiment.Workloads()},
+		} {
+			fmt.Fprintf(w, "%s: %s\n", dim.name, strings.Join(dim.entries, ", "))
+		}
+		return nil
 	}
 	app, err := experiment.ParseApplication(*appName)
 	if err != nil {
@@ -127,6 +144,17 @@ func run(args []string, w io.Writer) error {
 	// outage), so historical default output stays byte-identical.
 	if !experiment.IsDefaultWorkload(workload) || res.InjectionsSkipped > 0 {
 		fmt.Fprintf(w, "# injections skipped (no node online): %g\n", res.InjectionsSkipped)
+	}
+	// Byte-level load and the application's scalar summary columns appear only
+	// for applications that declare them (SummaryReporter), so the output of
+	// the paper applications stays byte-identical to earlier releases.
+	if sr, ok := app.(experiment.SummaryReporter); ok {
+		fmt.Fprintf(w, "# bytes sent: %.0f\n", res.BytesSent)
+		for i, col := range sr.SummaryColumns() {
+			if i < len(res.Summary) {
+				fmt.Fprintf(w, "# %s: %g\n", col, res.Summary[i])
+			}
+		}
 	}
 	if *summaryOnly {
 		return nil

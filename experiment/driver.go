@@ -123,6 +123,31 @@ type RejoinHandler interface {
 	OnRejoin(h *runtime.Host, node int)
 }
 
+// AppConfigurer is an optional AppDriver capability for parameterized
+// application families: WithParams returns a driver configured with the
+// colon-separated parameters following the application name in a
+// ParseApplication spec such as "blockcast:64:172.8". The receiver is the
+// registered (default-configured) driver and must not be mutated.
+type AppConfigurer interface {
+	WithParams(args []string) (AppDriver, error)
+}
+
+// SummaryReporter is an optional AppDriver capability: applications whose
+// outcome is more than the metric time series (latency quantiles, burst
+// load) name their scalar summary columns here. The per-repetition values
+// come from the run's RunSummarizer and land in Result.Summary, averaged
+// over repetitions, in the same order.
+type SummaryReporter interface {
+	SummaryColumns() []string
+}
+
+// RunSummarizer is an optional AppRun capability paired with the driver's
+// SummaryReporter: Summarize is invoked once per repetition after the run
+// completes and returns one value per summary column.
+type RunSummarizer interface {
+	Summarize(rc *RunContext) []float64
+}
+
 // RuntimeDriver supplies the execution runtime of an experiment: it builds
 // the runtime.Env one repetition runs on. The two built-ins are SimRuntime
 // (the discrete-event engine in virtual time, the paper's setup) and

@@ -252,6 +252,15 @@ type Result struct {
 	Tokens *metrics.Series
 	// MessagesSent is the mean number of messages sent per run.
 	MessagesSent float64
+	// BytesSent is the mean number of modeled wire bytes sent per run, under
+	// the per-kind size hints of protocol.RegisterPayloadSizer. Applications
+	// without a registered size model weigh one byte per message, so their
+	// BytesSent equals MessagesSent.
+	BytesSent float64
+	// Summary holds the application's scalar summary statistics, averaged
+	// over repetitions, when the driver implements SummaryReporter (the
+	// column labels are its SummaryColumns). Nil otherwise.
+	Summary []float64
 	// EventsProcessed is the mean number of scheduler events executed per
 	// run, when the runtime can report it (the discrete-event runtime can;
 	// wall-clock runtimes report 0). It is the raw unit behind the
@@ -287,8 +296,10 @@ type singleRun struct {
 	metric  *metrics.Series
 	tokens  *metrics.Series
 	sent    int64
+	bytes   int64
 	events  uint64
 	skipped int64
+	summary []float64
 }
 
 // runOnce executes one repetition. It is fully generic: everything
@@ -395,9 +406,13 @@ func runOnce(cfg Config, seed uint64) (*singleRun, error) {
 		return nil, fmt.Errorf("experiment: runtime %s: %w", DriverLabel(cfg.Runtime), err)
 	}
 	run.sent = host.MessagesSent()
+	run.bytes = host.BytesSent()
 	run.skipped = host.InjectionsSkipped()
 	if p, ok := env.(interface{ Processed() uint64 }); ok {
 		run.events = p.Processed()
+	}
+	if s, ok := appRun.(RunSummarizer); ok {
+		run.summary = s.Summarize(rc)
 	}
 
 	if cfg.AuditRateLimit {

@@ -95,13 +95,26 @@ func MustRegisterApplication(driver AppDriver, aliases ...string) {
 	}
 }
 
-// ParseApplication resolves a registered application name or alias.
-func ParseApplication(name string) (AppDriver, error) {
-	if d, ok := applications.lookup(name); ok {
+// ParseApplication resolves an application spec string of the form
+// "name[:param[:param...]]": the name (or alias) selects the registered
+// driver, and any colon-separated parameters are handed to the driver's
+// AppConfigurer capability. Parameter-free applications reject parameters.
+func ParseApplication(spec string) (AppDriver, error) {
+	parts := strings.Split(strings.TrimSpace(spec), ":")
+	d, ok := applications.lookup(parts[0])
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown application %q (registered: %s)",
+			spec, strings.Join(Applications(), ", "))
+	}
+	if len(parts) == 1 {
 		return d, nil
 	}
-	return nil, fmt.Errorf("experiment: unknown application %q (registered: %s)",
-		name, strings.Join(Applications(), ", "))
+	c, ok := d.(AppConfigurer)
+	if !ok {
+		return nil, fmt.Errorf("experiment: application %q takes no parameters, got %q",
+			parts[0], strings.Join(parts[1:], ":"))
+	}
+	return c.WithParams(parts[1:])
 }
 
 // Applications returns the canonical names of all registered applications in

@@ -104,8 +104,10 @@ type aggregator struct {
 	metric  metrics.Accumulator
 	tokens  metrics.Accumulator
 	sent    float64
+	bytes   float64
 	events  float64
 	skipped float64
+	summary []float64
 	next    int
 	pending map[int]*singleRun
 }
@@ -171,8 +173,21 @@ func (a *aggregator) add(rep int, run *singleRun) error {
 			}
 		}
 		a.sent += float64(run.sent)
+		a.bytes += float64(run.bytes)
 		a.events += float64(run.events)
 		a.skipped += float64(run.skipped)
+		if run.summary != nil {
+			if a.summary == nil {
+				a.summary = make([]float64, len(run.summary))
+			}
+			if len(run.summary) != len(a.summary) {
+				return fmt.Errorf("experiment: internal: repetition summary has %d values, want %d",
+					len(run.summary), len(a.summary))
+			}
+			for i, v := range run.summary {
+				a.summary[i] += v
+			}
+		}
 		a.next++
 		advanced = true
 	}
@@ -196,8 +211,15 @@ func (a *aggregator) finish() (*Result, error) {
 		Config:            a.cfg,
 		Metric:            avg,
 		MessagesSent:      a.sent / float64(a.cfg.Repetitions),
+		BytesSent:         a.bytes / float64(a.cfg.Repetitions),
 		EventsProcessed:   a.events / float64(a.cfg.Repetitions),
 		InjectionsSkipped: a.skipped / float64(a.cfg.Repetitions),
+	}
+	if a.summary != nil {
+		res.Summary = make([]float64, len(a.summary))
+		for i, v := range a.summary {
+			res.Summary[i] = v / float64(a.cfg.Repetitions)
+		}
 	}
 	res.MessagesPerNodePerRound = res.MessagesSent / float64(a.cfg.N) / float64(a.cfg.Rounds)
 	_, res.FinalMetric = avg.Last()

@@ -1,6 +1,9 @@
 package protocol
 
-import "sync"
+import (
+	"reflect"
+	"sync"
+)
 
 // PayloadKind discriminates the compact message representation of Payload.
 // The zero kind is the generic boxed path; the non-zero kinds are word-sized
@@ -25,6 +28,10 @@ const (
 	// KindWeight is the chaotic power iteration message: Word holds the
 	// IEEE-754 bits of the weight (poweriter.WeightMessage.X).
 	KindWeight
+	// KindBlockcast is the block-dissemination message of apps/blockcast:
+	// Word packs the message kind (announce/pull/block), the block height
+	// and the transaction batch size (blockcast.Msg).
+	KindBlockcast
 )
 
 // Payload is the message currency of the framework: what an Application
@@ -74,17 +81,86 @@ func (p Payload) Value() any {
 var (
 	decoderMu    sync.RWMutex
 	wordDecoders = map[PayloadKind]func(word uint64) any{}
+	wordSizers   = map[PayloadKind]func(word uint64) int{}
 )
 
 // RegisterPayloadDecoder installs the decoder turning a word of the given
 // kind back into its concrete message value (see Payload.Value). The
-// applications owning a kind register their decoder in init; registering the
-// same kind twice replaces the decoder.
+// application owning a kind registers its decoder in init. A kind belongs to
+// exactly one owner: registering a *different* decoder for an already-claimed
+// kind panics, so a kind collision between two word-encoded applications
+// fails loudly at init instead of silently decoding each other's messages.
+// Re-registering the same decoder function is a no-op (the same init may run
+// again under -count=N test reruns).
 func RegisterPayloadDecoder(kind PayloadKind, dec func(word uint64) any) {
 	if kind == KindBoxed || dec == nil {
 		panic("protocol: RegisterPayloadDecoder needs a word kind and a non-nil decoder")
 	}
 	decoderMu.Lock()
+	defer decoderMu.Unlock()
+	if prev, ok := wordDecoders[kind]; ok {
+		if reflect.ValueOf(prev).Pointer() != reflect.ValueOf(dec).Pointer() {
+			panic("protocol: payload kind already claimed by a different decoder")
+		}
+		return
+	}
 	wordDecoders[kind] = dec
-	decoderMu.Unlock()
+}
+
+// RegisterPayloadSizer installs the wire-size hint of a word-encoded kind:
+// given a payload word, it returns the message's wire size in bytes. The
+// runtime's byte accounting uses it; kinds without a sizer count as one byte,
+// so the paper's one-word applications keep their historical (message-count)
+// numbers. Like decoders, a kind takes exactly one sizer: registering a
+// different function for a claimed kind panics, the same function is a no-op.
+func RegisterPayloadSizer(kind PayloadKind, size func(word uint64) int) {
+	if kind == KindBoxed || size == nil {
+		panic("protocol: RegisterPayloadSizer needs a word kind and a non-nil sizer")
+	}
+	decoderMu.Lock()
+	defer decoderMu.Unlock()
+	if prev, ok := wordSizers[kind]; ok {
+		if reflect.ValueOf(prev).Pointer() != reflect.ValueOf(size).Pointer() {
+			panic("protocol: payload kind already claimed by a different sizer")
+		}
+		return
+	}
+	wordSizers[kind] = size
+}
+
+// PayloadSizerTable returns a dense snapshot of the registered sizers,
+// indexed by kind (nil entries mean "no sizer: size 1"). Hosts snapshot the
+// table once at assembly so the per-message lookup on the send hot path is a
+// bounds check and an indexed load, with no lock and no map access.
+func PayloadSizerTable() []func(word uint64) int {
+	decoderMu.RLock()
+	defer decoderMu.RUnlock()
+	max := PayloadKind(0)
+	for kind := range wordSizers {
+		if kind > max {
+			max = kind
+		}
+	}
+	if len(wordSizers) == 0 {
+		return nil
+	}
+	table := make([]func(word uint64) int, max+1)
+	for kind, size := range wordSizers {
+		table[kind] = size
+	}
+	return table
+}
+
+// PayloadSize returns the wire-size hint of the payload: the registered
+// sizer's answer for its word, or 1 when no sizer is registered for the kind
+// (including every boxed payload). It is the slow-path twin of the Host's
+// snapshot table, for transports and tests.
+func PayloadSize(p Payload) int {
+	decoderMu.RLock()
+	size := wordSizers[p.Kind]
+	decoderMu.RUnlock()
+	if size == nil {
+		return 1
+	}
+	return size(p.Word)
 }

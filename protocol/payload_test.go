@@ -50,6 +50,69 @@ func TestRegisterPayloadDecoderValidation(t *testing.T) {
 	}
 }
 
+// TestRegisterPayloadDecoderCollision pins the kind-ownership contract: a
+// second application claiming an already-registered kind with a different
+// decoder must panic (silent replacement would decode one app's words with
+// another app's decoder), while re-registering the owner's decoder — the same
+// init running again — stays a no-op.
+func TestRegisterPayloadDecoderCollision(t *testing.T) {
+	const kind = PayloadKind(1002) // private to this test
+	dec := func(word uint64) any { return word }
+	RegisterPayloadDecoder(kind, dec)
+	RegisterPayloadDecoder(kind, dec) // same decoder: no-op, no panic
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a different decoder for a claimed kind did not panic")
+		}
+	}()
+	RegisterPayloadDecoder(kind, func(word uint64) any { return int(word) })
+}
+
+func TestRegisterPayloadSizer(t *testing.T) {
+	const kind = PayloadKind(1003) // private to this test
+	if got := PayloadSize(WordPayload(kind, 9)); got != 1 {
+		t.Errorf("PayloadSize without sizer = %d, want 1", got)
+	}
+	sizer := func(word uint64) int { return int(word) + 10 }
+	RegisterPayloadSizer(kind, sizer)
+	RegisterPayloadSizer(kind, sizer) // same sizer: no-op
+	if got := PayloadSize(WordPayload(kind, 9)); got != 19 {
+		t.Errorf("PayloadSize = %d, want 19", got)
+	}
+	table := PayloadSizerTable()
+	if len(table) <= int(kind) || table[kind] == nil {
+		t.Fatalf("sizer table has no entry for kind %d (len %d)", kind, len(table))
+	}
+	if got := table[kind](9); got != 19 {
+		t.Errorf("table sizer = %d, want 19", got)
+	}
+	if table[KindBoxed] != nil {
+		t.Error("table has a sizer for KindBoxed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a different sizer for a claimed kind did not panic")
+		}
+	}()
+	RegisterPayloadSizer(kind, func(word uint64) int { return 1 })
+}
+
+func TestRegisterPayloadSizerValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"boxed kind": func() { RegisterPayloadSizer(KindBoxed, func(uint64) int { return 1 }) },
+		"nil sizer":  func() { RegisterPayloadSizer(KindWeight, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
 // TestWordPayloadIsAllocationFree pins the point of the word encoding:
 // creating and inspecting a word payload never touches the heap.
 func TestWordPayloadIsAllocationFree(t *testing.T) {

@@ -212,10 +212,19 @@ func (n *Node) Receive(from NodeID, payload Payload) {
 // message is sent back with the latest update (burning a token). Otherwise,
 // no answer is given."
 func (n *Node) RespondDirect(to NodeID) bool {
+	return n.RespondPayload(to, n.app.CreateMessage())
+}
+
+// RespondPayload sends the given payload straight to the peer if a token is
+// available, spending that token. It returns true if the message was sent.
+// It generalizes RespondDirect for applications whose direct responses are
+// not CreateMessage — e.g. blockcast serving a full block in answer to a
+// pull — while keeping the response token-gated like every reactive send.
+func (n *Node) RespondPayload(to NodeID, payload Payload) bool {
 	if n.account.SpendUpTo(1) == 0 {
 		return false
 	}
-	n.sender.Send(n.id, to, n.app.CreateMessage())
+	n.sender.Send(n.id, to, payload)
 	n.stats.ReactiveSent++
 	return true
 }

@@ -264,6 +264,29 @@ func TestRespondDirect(t *testing.T) {
 	}
 }
 
+func TestRespondPayload(t *testing.T) {
+	sender := &collectingSender{}
+	n := newTestNode(t, core.MustSimple(5), &countingApp{}, sender, staticPeers{peer: 2, ok: true})
+	custom := WordPayload(PayloadKind(1004), 77)
+	if n.RespondPayload(9, custom) {
+		t.Error("RespondPayload succeeded with empty account")
+	}
+	n.Tick() // bank one token
+	if !n.RespondPayload(9, custom) {
+		t.Error("RespondPayload failed with one token")
+	}
+	if n.Tokens() != 0 {
+		t.Errorf("balance = %d, want 0 after direct response", n.Tokens())
+	}
+	if n.Stats().ReactiveSent != 1 {
+		t.Errorf("ReactiveSent = %d, want 1", n.Stats().ReactiveSent)
+	}
+	last := sender.msgs[len(sender.msgs)-1]
+	if last.to != 9 || last.payload != custom {
+		t.Errorf("direct response = %+v, want payload %+v to 9", last, custom)
+	}
+}
+
 func TestAccessors(t *testing.T) {
 	app := &countingApp{}
 	strategy := core.MustRandomized(2, 4)

@@ -117,6 +117,15 @@ type Host struct {
 	network     netmodel.Model
 	delayedSend DelayedSender
 
+	// sizers is the payload sizer table snapshotted at assembly (see
+	// protocol.PayloadSizerTable): kinds without a sizer weigh one byte, so
+	// the paper's one-word applications read byte counts equal to their
+	// historical message counts. nodeBytes accumulates each node's egress;
+	// a node only ever sends from its owning shard's worker (see Send), so
+	// the per-node slots are never written concurrently.
+	sizers    []func(word uint64) int
+	nodeBytes []int64
+
 	envelopes map[int]*core.Envelope
 
 	// skippedInjections counts update injections that found no online node.
@@ -137,8 +146,8 @@ var _ protocol.Sender = (*Host)(nil)
 // shardCounters holds one shard's message counters, padded to a full cache
 // line so concurrent shard workers do not false-share.
 type shardCounters struct {
-	sent, delivered, dropped int64
-	_                        [5]int64
+	sent, delivered, dropped, bytes int64
+	_                               [4]int64
 }
 
 // NewHost assembles a run against the environment: it instantiates one
@@ -165,6 +174,8 @@ func NewHost(env Env, cfg Config) (*Host, error) {
 		netRNG:    env.Rand(StreamNet),
 		network:   cfg.Network,
 		envelopes: make(map[int]*core.Envelope),
+		sizers:    protocol.PayloadSizerTable(),
+		nodeBytes: make([]int64, n),
 	}
 	if sh, ok := env.(Sharded); ok && sh.NumShards() > 1 {
 		shards := sh.NumShards()
@@ -447,6 +458,14 @@ func (h *Host) Send(from, to protocol.NodeID, payload protocol.Payload) {
 	s := h.shardIdx(from)
 	c := &h.counts[s]
 	c.sent++
+	size := int64(1)
+	if int(payload.Kind) < len(h.sizers) {
+		if f := h.sizers[payload.Kind]; f != nil {
+			size = int64(f(payload.Word))
+		}
+	}
+	c.bytes += size
+	h.nodeBytes[from] += size
 	if env, ok := h.envelopes[int(from)]; ok {
 		env.Record(h.shardNow(s))
 	}
@@ -507,6 +526,23 @@ func (h *Host) MessagesDropped() int64 {
 	}
 	return total
 }
+
+// BytesSent returns the total wire bytes handed to the host, under the
+// per-kind size hints of protocol.RegisterPayloadSizer (kinds without a
+// sizer weigh one byte). Like MessagesSent it counts at send time, before
+// the loss lotteries: dropped traffic still loaded the sender's uplink.
+func (h *Host) BytesSent() int64 {
+	var total int64
+	for i := range h.counts {
+		total += h.counts[i].bytes
+	}
+	return total
+}
+
+// NodeBytes returns the wire bytes node i has sent so far. Reading it from
+// coordinator context (metric probes, end-of-run reporting) is safe: shard
+// workers are parked at a barrier whenever coordinator events run.
+func (h *Host) NodeBytes(i int) int64 { return h.nodeBytes[i] }
 
 // AverageTokens returns the mean account balance. With onlineOnly set, only
 // online nodes are considered (the churn scenario's convention).

@@ -506,3 +506,59 @@ func TestInjectionsSkippedCounter(t *testing.T) {
 		t.Fatalf("InjectionsSkipped = %d, want 2", got)
 	}
 }
+
+// sizedTestKind is a payload kind private to this test with a registered
+// wire-size hint: the word itself is the size in bytes.
+const sizedTestKind = protocol.PayloadKind(2000)
+
+func sizedTestSizer(word uint64) int { return int(word) }
+
+// TestHostBytesAccounting checks the byte-level load accounting: payload
+// kinds without a registered sizer weigh exactly one byte — so for the paper
+// applications BytesSent equals MessagesSent, keeping their numbers
+// byte-identical to the pre-accounting ones — while sized kinds count their
+// hint into the total, into the sending node's tally and past loss lotteries
+// (dropped traffic still loaded the sender's uplink).
+func TestHostBytesAccounting(t *testing.T) {
+	protocol.RegisterPayloadSizer(sizedTestKind, sizedTestSizer)
+	host, err := runtime.NewHost(newSimEnv(t, 30, 5), hostConfig(t, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := host.Run(20 * delta); err != nil {
+		t.Fatal(err)
+	}
+	if host.BytesSent() != host.MessagesSent() {
+		t.Errorf("unsized traffic: BytesSent = %d, MessagesSent = %d, want equal",
+			host.BytesSent(), host.MessagesSent())
+	}
+	var perNode int64
+	for i := 0; i < host.N(); i++ {
+		perNode += host.NodeBytes(i)
+	}
+	if perNode != host.BytesSent() {
+		t.Errorf("per-node bytes sum to %d, total is %d", perNode, host.BytesSent())
+	}
+
+	before, beforeNode := host.BytesSent(), host.NodeBytes(3)
+	host.Send(3, 4, protocol.WordPayload(sizedTestKind, 250))
+	if got := host.BytesSent() - before; got != 250 {
+		t.Errorf("sized payload added %d bytes, want 250", got)
+	}
+	if got := host.NodeBytes(3) - beforeNode; got != 250 {
+		t.Errorf("sized payload added %d bytes to the sender, want 250", got)
+	}
+
+	// A host that drops everything still counts the bytes as sent.
+	cfg := hostConfig(t, 20)
+	cfg.DropProbability = 1
+	dropAll, err := runtime.NewHost(newSimEnv(t, 20, 6), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropAll.Send(1, 2, protocol.WordPayload(sizedTestKind, 99))
+	if dropAll.BytesSent() != 99 || dropAll.MessagesDropped() != 1 {
+		t.Errorf("dropped send: bytes = %d (want 99), dropped = %d (want 1)",
+			dropAll.BytesSent(), dropAll.MessagesDropped())
+	}
+}
