@@ -69,6 +69,16 @@ func NewState(id protocol.NodeID, net Net) *State {
 	return &State{id: id, net: net}
 }
 
+// NewStates returns a slab of n states for nodes 0..n-1, all sending through
+// net: the whole network's application state in one allocation.
+func NewStates(n int, net Net) []State {
+	states := make([]State, n)
+	for i := range states {
+		states[i] = State{id: protocol.NodeID(i), net: net}
+	}
+	return states
+}
+
 // Head returns the height and batch size of the node's highest block
 // (0, 0 before the first block arrives).
 func (s *State) Head() (height uint64, batch uint32) { return s.height, s.batch }

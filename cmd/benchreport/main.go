@@ -13,15 +13,20 @@
 //	benchreport -check -baseline OLD.json
 //
 // With -check the exit status is non-zero if any guarded benchmark (the
-// steady-state simulator throughput and the allocation-free scheduler
-// queues) reports more allocs/op than the baseline file — the CI allocation
-// regression gate. Guarded allocation counts are size-independent, so a
-// -short run checks cleanly against a full-size baseline. Benchmarks marked
-// events-guarded (the sharded simulator throughput) additionally gate on
-// events/sec, but only when the run is comparable to the baseline: same
-// mode, same GOMAXPROCS and CPU count, and at least as many schedulable
-// cores as the benchmark has shards — throughput on mismatched hardware says
-// nothing, so mismatches skip the gate with a note instead of failing it.
+// steady-state simulator throughput, the allocation-free scheduler queues,
+// and the build-path benchmarks) reports more allocs/op than the baseline
+// file — the CI allocation regression gate. Guarded allocation counts are
+// size-independent (the build benchmarks run at fixed sizes in both modes),
+// so a -short run checks cleanly against a full-size baseline. Benchmarks
+// marked bytes-guarded (the build path) additionally gate on bytes/op
+// within a tolerance, and every entry carries the HeapAlloc high-water mark
+// seen while it ran (peak_bytes), gated generously between same-mode runs.
+// Benchmarks marked events-guarded (the sharded simulator throughput)
+// additionally gate on events/sec, but only when the run is comparable to
+// the baseline: same mode, same GOMAXPROCS and CPU count, and at least as
+// many schedulable cores as the benchmark has shards — throughput on
+// mismatched hardware says nothing, so mismatches skip the gate with a note
+// instead of failing it.
 package main
 
 import (
@@ -33,6 +38,7 @@ import (
 	"regexp"
 	"runtime"
 	"testing"
+	"time"
 
 	"github.com/szte-dcs/tokenaccount/core"
 	"github.com/szte-dcs/tokenaccount/experiment"
@@ -62,9 +68,18 @@ type BenchResult struct {
 	// Shards is the worker shard count of a sharded-engine benchmark
 	// (0 for sequential benchmarks).
 	Shards int `json:"shards,omitempty"`
+	// PeakBytes is the HeapAlloc high-water mark observed by a background
+	// sampler while the benchmark ran — the resident-footprint axis the
+	// per-op numbers cannot show (a build benchmark may allocate little per
+	// op yet hold a large live slab).
+	PeakBytes int64 `json:"peak_bytes,omitempty"`
 	// Guarded marks benchmarks whose allocs/op participate in the -check
 	// regression gate.
 	Guarded bool `json:"guarded,omitempty"`
+	// BytesGuarded marks benchmarks whose bytes/op additionally participate
+	// in the -check gate (with tolerance: amortized slab growth shifts a few
+	// percent with the iteration count).
+	BytesGuarded bool `json:"bytes_guarded,omitempty"`
 	// EventsGuarded marks benchmarks whose events/sec participates in the
 	// -check throughput gate (when the host matches the baseline).
 	EventsGuarded bool `json:"events_guarded,omitempty"`
@@ -91,6 +106,7 @@ type Report struct {
 type spec struct {
 	name          string
 	guarded       bool
+	bytesGuarded  bool
 	eventsGuarded bool
 	shards        int
 	bench         func(short bool) func(b *testing.B)
@@ -146,15 +162,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if !*quiet {
 			fmt.Fprintf(stderr, "benchreport: running %s...\n", s.name)
 		}
+		stopPeak := samplePeak()
 		r := testing.Benchmark(s.bench(*short))
+		peak := stopPeak()
 		br := BenchResult{
 			Name:          s.name,
 			Iterations:    r.N,
 			NsPerOp:       float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp:   r.AllocsPerOp(),
 			BytesPerOp:    r.AllocedBytesPerOp(),
+			PeakBytes:     peak,
 			Shards:        s.shards,
 			Guarded:       s.guarded,
+			BytesGuarded:  s.bytesGuarded,
 			EventsGuarded: s.eventsGuarded,
 		}
 		if ev, ok := r.Extra["events/op"]; ok && br.NsPerOp > 0 {
@@ -172,12 +192,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if checkEvents(report, *baseline, stderr) {
 			regressed = true
 		}
+		if checkPeak(report, *baseline, stderr) {
+			regressed = true
+		}
 		if regressed {
 			return 1
 		}
 		fmt.Fprintln(stderr, "benchreport: guarded benchmarks within baseline")
 	}
 	return 0
+}
+
+// samplePeak starts a background goroutine polling runtime.ReadMemStats for
+// the HeapAlloc high-water mark and returns a function that stops it and
+// reports the peak. The ~25ms cadence keeps the stop-the-world cost of
+// ReadMemStats negligible against the benchmark; transient spikes between
+// samples go unseen, which is why the peak gate carries a generous tolerance.
+func samplePeak() (stop func() int64) {
+	quit := make(chan struct{})
+	out := make(chan int64, 1)
+	go func() {
+		var ms runtime.MemStats
+		var peak uint64
+		tick := time.NewTicker(25 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak {
+				peak = ms.HeapAlloc
+			}
+			select {
+			case <-quit:
+				out <- int64(peak)
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	return func() int64 {
+		close(quit)
+		return <-out
+	}
 }
 
 func mode(short bool) string {
@@ -212,10 +267,22 @@ func writeReport(r Report, out string, stdout io.Writer) error {
 	return os.WriteFile(out, data, 0o644)
 }
 
+// bytesTolerance is the factor a bytes-guarded benchmark's bytes/op may grow
+// over the baseline before -check fails: looser than the exact allocs gate
+// because amortized slab doubling lands differently depending on where b.N
+// stops, tighter than the throughput gate because total allocated bytes do
+// not depend on scheduling.
+const bytesTolerance = 1.2
+
+// buildAllocHeadroom is the absolute allocs/op slack granted to build-path
+// (bytes-guarded) entries; see the comment in checkAllocs.
+const buildAllocHeadroom = 16
+
 // checkAllocs compares guarded benchmarks against the baseline and reports
-// whether any regressed. Benchmarks missing from either side are skipped:
-// the gate protects existing guarantees, it does not freeze the benchmark
-// set.
+// whether any regressed: allocs/op exactly, and bytes/op within
+// bytesTolerance for the bytes-guarded entries. Benchmarks missing from
+// either side are skipped: the gate protects existing guarantees, it does
+// not freeze the benchmark set.
 func checkAllocs(current, baseline Report, stderr io.Writer) bool {
 	base := map[string]BenchResult{}
 	for _, b := range baseline.Benchmarks {
@@ -232,9 +299,64 @@ func checkAllocs(current, baseline Report, stderr io.Writer) bool {
 		if !ok {
 			continue
 		}
-		if b.AllocsPerOp > ref.AllocsPerOp {
+		// Steady-state entries gate exactly: their op is deterministic, so
+		// one extra alloc is a real per-event regression. Build-path entries
+		// (the bytes-guarded ones) get a small absolute headroom — a whole
+		// host build lands at ~100 allocations total, and a handful of them
+		// are runtime-internal (worker goroutines, GC metadata) and jitter
+		// by a few between runs; a per-node regression would show up as
+		// thousands, far beyond the headroom.
+		limit := ref.AllocsPerOp
+		if b.BytesGuarded {
+			limit += buildAllocHeadroom
+		}
+		if b.AllocsPerOp > limit {
 			fmt.Fprintf(stderr, "benchreport: ALLOC REGRESSION: %s reports %d allocs/op, baseline %d\n",
 				b.Name, b.AllocsPerOp, ref.AllocsPerOp)
+			regressed = true
+		}
+		if b.BytesGuarded && ref.BytesPerOp > 0 &&
+			float64(b.BytesPerOp) > bytesTolerance*float64(ref.BytesPerOp) {
+			fmt.Fprintf(stderr, "benchreport: BYTES REGRESSION: %s reports %d bytes/op, baseline %d (tolerance %.0f%%)\n",
+				b.Name, b.BytesPerOp, ref.BytesPerOp, (bytesTolerance-1)*100)
+			regressed = true
+		}
+	}
+	return regressed
+}
+
+// Peak-gate thresholds: the HeapAlloc high-water mark is sampled, so it sees
+// GC timing as much as live-set size — the gate only fires on entries big
+// enough for the live set to dominate (peakFloorBytes) and only past a wide
+// margin (peakTolerance). Like the events gate it needs comparable runs, but
+// mode alone decides that: peak footprint does not depend on core count.
+const (
+	peakTolerance  = 2.5
+	peakFloorBytes = 32 << 20
+)
+
+// checkPeak compares the sampled HeapAlloc high-water mark of every
+// benchmark present on both sides against the baseline, skipping — with a
+// note — when the modes differ (benchmark sizes, and so footprints, change
+// with the mode). It reports whether any entry blew past the tolerance.
+func checkPeak(current, baseline Report, stderr io.Writer) bool {
+	if current.Mode != baseline.Mode {
+		fmt.Fprintf(stderr, "benchreport: peak_bytes gate skipped: mode %s vs baseline %s\n", current.Mode, baseline.Mode)
+		return false
+	}
+	base := map[string]BenchResult{}
+	for _, b := range baseline.Benchmarks {
+		base[b.Name] = b
+	}
+	regressed := false
+	for _, b := range current.Benchmarks {
+		ref, ok := base[b.Name]
+		if !ok || ref.PeakBytes < peakFloorBytes || b.PeakBytes < peakFloorBytes {
+			continue
+		}
+		if float64(b.PeakBytes) > peakTolerance*float64(ref.PeakBytes) {
+			fmt.Fprintf(stderr, "benchreport: PEAK MEMORY REGRESSION: %s peaks at %d bytes, baseline %d (tolerance %.1fx)\n",
+				b.Name, b.PeakBytes, ref.PeakBytes, peakTolerance)
 			regressed = true
 		}
 	}
@@ -389,6 +511,33 @@ func specs() []spec {
 			bench:   func(short bool) func(*testing.B) { return blockcastBench(kind, short) },
 		})
 	}
+	// The build path: overlay construction and full host assembly (env,
+	// state slabs, per-node RNG streams, round scheduling) at fixed sizes —
+	// the same in short and full mode, so a CI run checks cleanly against a
+	// full baseline. Guarded on allocs AND bytes: the struct-of-arrays
+	// refactor's guarantee is that building n nodes costs O(1) allocations
+	// in slabs, not O(n) in objects, and the bytes gate keeps the slabs
+	// themselves from quietly growing.
+	out = append(out, spec{
+		name:         "OverlayBuild/kout",
+		guarded:      true,
+		bytesGuarded: true,
+		bench:        func(short bool) func(*testing.B) { return overlayBuildBench("kout") },
+	}, spec{
+		name:         "OverlayBuild/ws",
+		guarded:      true,
+		bytesGuarded: true,
+		bench:        func(short bool) func(*testing.B) { return overlayBuildBench("ws") },
+	})
+	for _, n := range []int{100_000, 1_000_000} {
+		n := n
+		out = append(out, spec{
+			name:         fmt.Sprintf("HostBuild/n=%d", n),
+			guarded:      true,
+			bytesGuarded: true,
+			bench:        func(short bool) func(*testing.B) { return hostBuildBench(n) },
+		})
+	}
 	// The sharded engine on a Figure 4/5-style zoned workload: identical
 	// model and scale across shard counts, so the entries read directly as a
 	// speedup column. shards=1 routes through the sequential engine and
@@ -466,6 +615,77 @@ func workloadSamplingBench(specStr string) func(b *testing.B) {
 			workloadSink = a.Next()
 		}
 		b.ReportMetric(1, "events/op")
+	}
+}
+
+// overlayBuildBench measures one overlay construction per op at a fixed
+// 100k-node size: the k-out graph of the gossip experiments and a
+// Watts–Strogatz small world with enough rewiring (β=0.2) to exercise the
+// slab-dedup path. Alloc counts are seed-deterministic (the spill map
+// contents depend only on the draw sequence), so the exact gate holds.
+func overlayBuildBench(kind string) func(b *testing.B) {
+	const n = 100_000
+	build := func() (*overlay.Graph, error) { return overlay.RandomKOut(n, 20, 1) }
+	if kind == "ws" {
+		build = func() (*overlay.Graph, error) { return overlay.WattsStrogatz(n, 10, 0.2, 1) }
+	}
+	return func(b *testing.B) {
+		if _, err := build(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := build(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// hostBuildBench measures one full network assembly per op over a pre-built
+// graph: simulated environment, the host's state slabs and per-node RNG
+// streams, application state, and the initial round scheduling, using the
+// parallel build path. The strategy is boxed once outside the loop — sharing
+// one immutable strategy value across nodes is the intended calling
+// convention, and it keeps the measurement about the host, not the caller's
+// factory. One untimed warm-up build settles runtime pools so allocs/op is
+// exact.
+func hostBuildBench(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		const delta = 172.8
+		g, err := overlay.RandomKOut(n, 20, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		strategy := core.Strategy(core.MustRandomized(5, 10))
+		// A fixed worker count keeps the goroutine and closure allocations
+		// of the parallel build identical across hosts, so the alloc gate
+		// compares like with like regardless of the runner's core count.
+		const workers = 8
+		build := func() {
+			env, err := simnet.NewEnv(simnet.EnvConfig{N: n, Seed: 1, TransferDelay: 1.728})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer env.Close()
+			walkers := make([]gossiplearning.Walker, n)
+			if _, err := hostrt.NewHost(env, hostrt.Config{
+				Graph:        g,
+				Strategy:     func(int) core.Strategy { return strategy },
+				NewApp:       func(i int) protocol.Application { return &walkers[i] },
+				Delta:        delta,
+				BuildWorkers: workers,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		build()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			build()
+		}
 	}
 }
 

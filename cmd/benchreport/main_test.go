@@ -11,6 +11,7 @@ func TestCheckAllocs(t *testing.T) {
 	baseline := Report{Benchmarks: []BenchResult{
 		{Name: "SimulatorThroughput/slab", AllocsPerOp: 0, Guarded: true},
 		{Name: "SchedulerQueue/calendar", AllocsPerOp: 0, Guarded: true},
+		{Name: "HostBuild/n=100000", AllocsPerOp: 40, BytesPerOp: 1000, Guarded: true, BytesGuarded: true},
 		{Name: "Fig2PushGossip", AllocsPerOp: 100}, // unguarded: never gates
 	}}
 	cases := []struct {
@@ -28,6 +29,18 @@ func TestCheckAllocs(t *testing.T) {
 		{"new guarded benchmark skipped", Report{Benchmarks: []BenchResult{
 			{Name: "Brand/new", AllocsPerOp: 50, Guarded: true},
 		}}, false},
+		{"bytes within tolerance", Report{Benchmarks: []BenchResult{
+			{Name: "HostBuild/n=100000", AllocsPerOp: 40, BytesPerOp: 1150, Guarded: true, BytesGuarded: true},
+		}}, false},
+		{"bytes regression", Report{Benchmarks: []BenchResult{
+			{Name: "HostBuild/n=100000", AllocsPerOp: 40, BytesPerOp: 1300, Guarded: true, BytesGuarded: true},
+		}}, true},
+		{"build allocs within headroom", Report{Benchmarks: []BenchResult{
+			{Name: "HostBuild/n=100000", AllocsPerOp: 40 + buildAllocHeadroom, BytesPerOp: 1000, Guarded: true, BytesGuarded: true},
+		}}, false},
+		{"build allocs regression", Report{Benchmarks: []BenchResult{
+			{Name: "HostBuild/n=100000", AllocsPerOp: 41 + buildAllocHeadroom, BytesPerOp: 1000, Guarded: true, BytesGuarded: true},
+		}}, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -74,7 +87,7 @@ func TestCommittedBaselineParses(t *testing.T) {
 	if r.GoMaxProcs < 1 || r.NumCPU < 1 {
 		t.Errorf("baseline host metadata missing: GOMAXPROCS=%d, NumCPU=%d", r.GoMaxProcs, r.NumCPU)
 	}
-	guarded, sharded := 0, 0
+	guarded, sharded, builds := 0, 0, 0
 	for _, b := range r.Benchmarks {
 		if strings.HasPrefix(b.Name, "SimulatorThroughputSharded/") {
 			sharded++
@@ -82,11 +95,22 @@ func TestCommittedBaselineParses(t *testing.T) {
 				t.Errorf("sharded entry %s: shards=%d, events_guarded=%v, events_per_sec=%g", b.Name, b.Shards, b.EventsGuarded, b.EventsPerSec)
 			}
 		}
+		if strings.HasPrefix(b.Name, "HostBuild/") || strings.HasPrefix(b.Name, "OverlayBuild/") {
+			builds++
+			if !b.Guarded || !b.BytesGuarded {
+				t.Errorf("build entry %s: guarded=%v, bytes_guarded=%v, want both", b.Name, b.Guarded, b.BytesGuarded)
+			}
+			if b.PeakBytes <= 0 {
+				t.Errorf("build entry %s committed without a peak_bytes measurement", b.Name)
+			}
+		}
 		if !b.Guarded {
 			continue
 		}
 		guarded++
-		if b.AllocsPerOp != 0 {
+		// The steady-state entries are pinned at exactly zero; the build-path
+		// entries (bytes-guarded) legitimately allocate their slabs.
+		if b.AllocsPerOp != 0 && !b.BytesGuarded {
 			t.Errorf("guarded benchmark %s committed with %d allocs/op", b.Name, b.AllocsPerOp)
 		}
 	}
@@ -95,6 +119,9 @@ func TestCommittedBaselineParses(t *testing.T) {
 	}
 	if sharded < 3 {
 		t.Errorf("only %d sharded throughput entries in the committed baseline, want ≥ 3", sharded)
+	}
+	if builds < 4 {
+		t.Errorf("only %d build-path entries in the committed baseline, want ≥ 4", builds)
 	}
 }
 
@@ -143,6 +170,48 @@ func TestCheckEvents(t *testing.T) {
 			tc.current.Benchmarks = tc.extra
 			if got := checkEvents(tc.current, baseline, &buf); got != tc.regressed {
 				t.Errorf("checkEvents = %v, want %v (output: %s)", got, tc.regressed, buf.String())
+			}
+		})
+	}
+}
+
+// TestCheckPeak covers the peak-memory gate: it only fires on same-mode runs,
+// for entries above the noise floor, past the generous tolerance.
+func TestCheckPeak(t *testing.T) {
+	const mib = 1 << 20
+	baseline := Report{Mode: "full", Benchmarks: []BenchResult{
+		{Name: "HostBuild/n=1000000", PeakBytes: 1000 * mib},
+		{Name: "SchedulerQueue/slab", PeakBytes: 2 * mib}, // below the floor: never gates
+	}}
+	cases := []struct {
+		name      string
+		current   Report
+		regressed bool
+	}{
+		{"clean", Report{Mode: "full", Benchmarks: []BenchResult{
+			{Name: "HostBuild/n=1000000", PeakBytes: 1100 * mib},
+		}}, false},
+		{"within tolerance", Report{Mode: "full", Benchmarks: []BenchResult{
+			{Name: "HostBuild/n=1000000", PeakBytes: 2400 * mib},
+		}}, false},
+		{"regression", Report{Mode: "full", Benchmarks: []BenchResult{
+			{Name: "HostBuild/n=1000000", PeakBytes: 2600 * mib},
+		}}, true},
+		{"mode mismatch skips", Report{Mode: "short", Benchmarks: []BenchResult{
+			{Name: "HostBuild/n=1000000", PeakBytes: 9000 * mib},
+		}}, false},
+		{"small entries never gate", Report{Mode: "full", Benchmarks: []BenchResult{
+			{Name: "SchedulerQueue/slab", PeakBytes: 30 * mib},
+		}}, false},
+		{"new entry skipped", Report{Mode: "full", Benchmarks: []BenchResult{
+			{Name: "Brand/new", PeakBytes: 9000 * mib},
+		}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf strings.Builder
+			if got := checkPeak(tc.current, baseline, &buf); got != tc.regressed {
+				t.Errorf("checkPeak = %v, want %v (output: %s)", got, tc.regressed, buf.String())
 			}
 		})
 	}

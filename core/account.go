@@ -24,7 +24,16 @@ type Account struct {
 // true the balance may go negative (needed only by the pure reactive
 // strategy).
 func NewAccount(initial int, allowOverspend bool) *Account {
-	return &Account{balance: initial, allowOverspend: allowOverspend}
+	a := MakeAccount(initial, allowOverspend)
+	return &a
+}
+
+// MakeAccount returns an account value holding initial tokens. It is the
+// value-typed counterpart of NewAccount for callers that embed accounts in
+// larger structures (the protocol state slab) instead of allocating one heap
+// object per node.
+func MakeAccount(initial int, allowOverspend bool) Account {
+	return Account{balance: initial, allowOverspend: allowOverspend}
 }
 
 // Balance returns the current number of tokens (negative only when

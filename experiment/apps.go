@@ -54,16 +54,24 @@ func (gossipLearningDriver) BuildOverlay(cfg Config, seed uint64) (*overlay.Grap
 }
 
 func (gossipLearningDriver) NewRun(cfg Config, graph *overlay.Graph) (AppRun, error) {
-	return &gossipLearningRun{cfg: cfg, walkers: make([]*gossiplearning.Walker, cfg.N)}, nil
+	// All walker state lives in one value slab; walkers holds the per-node
+	// views the metric helpers consume. Two allocations for the whole run
+	// instead of one per node.
+	r := &gossipLearningRun{cfg: cfg, walkerSlab: make([]gossiplearning.Walker, cfg.N)}
+	r.walkers = make([]*gossiplearning.Walker, cfg.N)
+	for i := range r.walkers {
+		r.walkers[i] = &r.walkerSlab[i]
+	}
+	return r, nil
 }
 
 type gossipLearningRun struct {
-	cfg     Config
-	walkers []*gossiplearning.Walker
+	cfg        Config
+	walkerSlab []gossiplearning.Walker
+	walkers    []*gossiplearning.Walker
 }
 
 func (r *gossipLearningRun) NewApp(node int) protocol.Application {
-	r.walkers[node] = gossiplearning.NewWalker()
 	return r.walkers[node]
 }
 
@@ -92,7 +100,12 @@ func (pushGossipDriver) BuildOverlay(cfg Config, seed uint64) (*overlay.Graph, e
 }
 
 func (pushGossipDriver) NewRun(cfg Config, graph *overlay.Graph) (AppRun, error) {
-	return &pushGossipRun{cfg: cfg, states: make([]*pushgossip.State, cfg.N), latest: -1}, nil
+	r := &pushGossipRun{cfg: cfg, stateSlab: pushgossip.NewStates(cfg.N), latest: -1}
+	r.states = make([]*pushgossip.State, cfg.N)
+	for i := range r.states {
+		r.states[i] = &r.stateSlab[i]
+	}
+	return r, nil
 }
 
 // FinishMetric applies the paper's smoothing window to the averaged lag
@@ -105,13 +118,13 @@ func (pushGossipDriver) FinishMetric(cfg Config, avg *metrics.Series) *metrics.S
 }
 
 type pushGossipRun struct {
-	cfg    Config
-	states []*pushgossip.State
-	latest int64 // sequence number of the freshest injected update
+	cfg       Config
+	stateSlab []pushgossip.State
+	states    []*pushgossip.State
+	latest    int64 // sequence number of the freshest injected update
 }
 
 func (r *pushGossipRun) NewApp(node int) protocol.Application {
-	r.states[node] = pushgossip.New()
 	return r.states[node]
 }
 

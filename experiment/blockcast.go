@@ -117,13 +117,18 @@ func (d blockcastDriver) NewRun(cfg Config, graph *overlay.Graph) (AppRun, error
 	if interval == 0 {
 		interval = cfg.Delta
 	}
-	return &blockcastRun{
+	r := &blockcastRun{
 		cfg:       cfg,
 		chain:     chain,
 		interval:  interval,
 		states:    make([]*blockcast.State, cfg.N),
 		prevBytes: make([]int64, cfg.N),
-	}, nil
+	}
+	r.stateSlab = blockcast.NewStates(cfg.N, r)
+	for i := range r.states {
+		r.states[i] = &r.stateSlab[i]
+	}
+	return r, nil
 }
 
 // blockcastRun is one repetition: the per-node states, the run-global chain,
@@ -131,11 +136,12 @@ func (d blockcastDriver) NewRun(cfg Config, graph *overlay.Graph) (AppRun, error
 // coordinator context (Start's Every loops, Sample, Summarize, OnRejoin),
 // where shard workers are parked at a barrier.
 type blockcastRun struct {
-	cfg      Config
-	chain    *blockcast.Chain
-	interval float64
-	states   []*blockcast.State
-	host     *runtime.Host
+	cfg       Config
+	chain     *blockcast.Chain
+	interval  float64
+	stateSlab []blockcast.State
+	states    []*blockcast.State
+	host      *runtime.Host
 
 	head   func(i int) uint64
 	online func(i int) bool
@@ -156,7 +162,6 @@ func (r *blockcastRun) Respond(from, to protocol.NodeID, p protocol.Payload) boo
 }
 
 func (r *blockcastRun) NewApp(node int) protocol.Application {
-	r.states[node] = blockcast.NewState(protocol.NodeID(node), r)
 	return r.states[node]
 }
 

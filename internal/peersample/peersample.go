@@ -23,11 +23,6 @@ type Overlay struct {
 	graph *overlay.Graph
 	self  int
 	alive Liveness
-
-	// scratch buffer reused across calls to avoid allocating on every
-	// selection; Overlay is therefore not safe for concurrent use, matching
-	// the single-threaded use of a protocol.Node.
-	candidates []int32
 }
 
 var _ protocol.PeerSelector = (*Overlay)(nil)
@@ -44,7 +39,13 @@ func NewOverlay(g *overlay.Graph, self int, alive Liveness) (*Overlay, error) {
 	return &Overlay{graph: g, self: self, alive: alive}, nil
 }
 
-// SelectPeer returns a uniformly random reachable out-neighbour.
+// SelectPeer returns a uniformly random reachable out-neighbour. With a
+// liveness oracle it scans the neighbour list twice — count the reachable
+// ones, draw, select — instead of collecting them into a scratch buffer: the
+// single Intn draw sees the same bound as the buffer's length would be, so
+// peer choices are unchanged, and the sampler carries no per-node buffer.
+// Within one call the oracle must be stable (callbacks are serialized in
+// both runtimes, so availability cannot flip mid-selection).
 func (o *Overlay) SelectPeer(rng protocol.Rand) (protocol.NodeID, bool) {
 	nbrs := o.graph.OutNeighbors(o.self)
 	if len(nbrs) == 0 {
@@ -53,16 +54,26 @@ func (o *Overlay) SelectPeer(rng protocol.Rand) (protocol.NodeID, bool) {
 	if o.alive == nil {
 		return protocol.NodeID(nbrs[rng.Intn(len(nbrs))]), true
 	}
-	o.candidates = o.candidates[:0]
+	reachable := 0
 	for _, v := range nbrs {
 		if o.alive(protocol.NodeID(v)) {
-			o.candidates = append(o.candidates, v)
+			reachable++
 		}
 	}
-	if len(o.candidates) == 0 {
+	if reachable == 0 {
 		return protocol.NoNode, false
 	}
-	return protocol.NodeID(o.candidates[rng.Intn(len(o.candidates))]), true
+	j := rng.Intn(reachable)
+	for _, v := range nbrs {
+		if !o.alive(protocol.NodeID(v)) {
+			continue
+		}
+		if j == 0 {
+			return protocol.NodeID(v), true
+		}
+		j--
+	}
+	return protocol.NoNode, false // unreachable: the oracle is stable mid-call
 }
 
 // Uniform samples uniformly among all nodes 0..N-1 except the node itself,

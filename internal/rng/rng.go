@@ -27,6 +27,14 @@ func New(seed uint64) *Source {
 	return &Source{state: seed}
 }
 
+// Seeded returns a generator value seeded with seed. It is the value-typed
+// counterpart of New for embedding generators in slabs (one 8-byte state per
+// node) instead of allocating each on the heap; &slab[i] yields the same
+// stream as New(seed).
+func Seeded(seed uint64) Source {
+	return Source{state: seed}
+}
+
 // Derive deterministically mixes a base seed and a stream index into a new
 // seed, so that per-node generators are decorrelated even for adjacent
 // indices.

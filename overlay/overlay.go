@@ -12,7 +12,8 @@ package overlay
 
 import (
 	"fmt"
-	"sort"
+	stdruntime "runtime"
+	"sync"
 
 	"github.com/szte-dcs/tokenaccount/internal/rng"
 )
@@ -136,25 +137,112 @@ func RandomKOut(n, k int, seed uint64) (*Graph, error) {
 	}
 	g := &Graph{n: n}
 	g.outOff = make([]int64, n+1)
-	g.outAdj = make([]int32, 0, n*k)
+	g.outAdj = make([]int32, n*k)
 	src := rng.New(rng.Derive(seed, 0x6f75742d6b)) // "out-k"
-	picked := make(map[int32]bool, k)
+	// Epoch-stamped scratch instead of a per-node map: mark[v] == i+1 means v
+	// was already picked for node i, so dedup is O(1) with one reusable array
+	// and degree-k sampling allocates nothing per node. The accept/reject
+	// sequence is identical to the historical map-based construction, keeping
+	// the graph (and every golden output derived from it) byte-identical.
+	mark := make([]int32, n)
+	idx := 0
 	for i := 0; i < n; i++ {
-		for id := range picked {
-			delete(picked, id)
-		}
-		for len(picked) < k {
+		epoch := int32(i) + 1
+		for picked := 0; picked < k; {
 			v := int32(src.Intn(n))
-			if int(v) == i || picked[v] {
+			if int(v) == i || mark[v] == epoch {
 				continue
 			}
-			picked[v] = true
-			g.outAdj = append(g.outAdj, v)
+			mark[v] = epoch
+			g.outAdj[idx] = v
+			idx++
+			picked++
 		}
-		g.outOff[i+1] = int64(len(g.outAdj))
+		g.outOff[i+1] = int64(idx)
 	}
 	g.buildIn()
 	return g, nil
+}
+
+// RandomKOutParallel builds a random k-out overlay like RandomKOut, but each
+// node draws its neighbours from an independent stream derived from (seed,
+// node), so contiguous node ranges can be generated concurrently. The graph
+// is a pure function of (n, k, seed) — workers only bounds the fan-out and
+// never changes the result — but it differs from RandomKOut's single-stream
+// graph for the same seed, so the two constructors are distinct rather than
+// one replacing the other. Use this for very large networks (10^6–10^7
+// nodes) where single-stream generation dominates build time. workers ≤ 0
+// uses GOMAXPROCS.
+func RandomKOutParallel(n, k int, seed uint64, workers int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("overlay: RandomKOutParallel needs at least 2 nodes, got %d", n)
+	}
+	if k < 1 || k > n-1 {
+		return nil, fmt.Errorf("overlay: RandomKOutParallel k=%d out of range [1,%d]", k, n-1)
+	}
+	g := &Graph{n: n}
+	g.outOff = make([]int64, n+1)
+	g.outAdj = make([]int32, n*k)
+	for i := 0; i < n; i++ {
+		g.outOff[i+1] = int64((i + 1) * k)
+	}
+	base := rng.Derive(seed, 0x6f75742d6b70) // "out-kp"
+	forRanges(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			src := rng.New(rng.Derive(base, uint64(i)))
+			row := g.outAdj[i*k : (i+1)*k]
+			for picked := 0; picked < k; {
+				v := int32(src.Intn(n))
+				if int(v) == i {
+					continue
+				}
+				dup := false
+				for _, u := range row[:picked] {
+					if u == v {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+				row[picked] = v
+				picked++
+			}
+		}
+	})
+	g.buildIn()
+	return g, nil
+}
+
+// forRanges splits [0,n) into contiguous chunks and runs fn on each, using up
+// to workers goroutines (GOMAXPROCS when workers ≤ 0). fn must be safe to run
+// concurrently on disjoint ranges. workers == 1 runs inline.
+func forRanges(n, workers int, fn func(lo, hi int)) {
+	if workers <= 0 {
+		workers = stdruntime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // WattsStrogatz builds an undirected small-world network following Watts and
@@ -175,32 +263,40 @@ func WattsStrogatz(n, k int, beta float64, seed uint64) (*Graph, error) {
 		return nil, fmt.Errorf("overlay: WattsStrogatz beta=%v out of [0,1]", beta)
 	}
 	src := rng.New(rng.Derive(seed, 0x77732d72696e67)) // "ws-ring"
-	adj := make([]map[int]bool, n)
-	for i := range adj {
-		adj[i] = make(map[int]bool, k)
-	}
-	addEdge := func(u, v int) {
-		adj[u][v] = true
-		adj[v][u] = true
-	}
-	removeEdge := func(u, v int) {
-		delete(adj[u], v)
-		delete(adj[v], u)
-	}
-	// Ring lattice.
-	for i := 0; i < n; i++ {
-		for d := 1; d <= k/2; d++ {
-			addEdge(i, (i+d)%n)
+	// The evolving adjacency lives in a fixed-capacity slab (k + slack slots
+	// per node) with a rare spill list for nodes whose degree grows past the
+	// slack under rewiring, instead of one map per node. Membership answers —
+	// the only thing the rewiring loop observes — are identical to the
+	// historical map representation, so the RNG draw sequence and the final
+	// graph are unchanged.
+	adj := newWsAdj(n, k)
+	// Ring lattice: node i is adjacent to (i±d) mod n for d = 1..k/2. All 2·
+	// (k/2) values are distinct (d < n/2), so every node starts at degree k,
+	// which the slab holds without spilling. Ranges are independent, so the
+	// fill runs in parallel.
+	forRanges(n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			base := i * adj.capPer
+			idx := 0
+			for d := 1; d <= k/2; d++ {
+				adj.slab[base+idx] = int32((i + d) % n)
+				idx++
+				adj.slab[base+idx] = int32((i - d + n) % n)
+				idx++
+			}
+			adj.deg[i] = int32(k)
 		}
-	}
-	// Rewire each lattice edge (i, i+d) with probability beta.
+	})
+	// Rewire each lattice edge (i, i+d) with probability beta. This phase is
+	// inherently sequential: every decision consumes draws from the single
+	// stream and inspects adjacency mutated by earlier decisions.
 	for i := 0; i < n; i++ {
 		for d := 1; d <= k/2; d++ {
 			j := (i + d) % n
 			if src.Float64() >= beta {
 				continue
 			}
-			if !adj[i][j] {
+			if !adj.contains(i, int32(j)) {
 				continue // already rewired away from the other endpoint
 			}
 			// Choose a new target distinct from i and not already adjacent.
@@ -208,7 +304,7 @@ func WattsStrogatz(n, k int, beta float64, seed uint64) (*Graph, error) {
 			ok := false
 			for attempts := 0; attempts < 100; attempts++ {
 				target = src.Intn(n)
-				if target != i && !adj[i][target] {
+				if target != i && !adj.contains(i, int32(target)) {
 					ok = true
 					break
 				}
@@ -216,21 +312,152 @@ func WattsStrogatz(n, k int, beta float64, seed uint64) (*Graph, error) {
 			if !ok {
 				continue
 			}
-			removeEdge(i, j)
-			addEdge(i, target)
+			adj.removeEdge(i, j)
+			adj.addEdge(i, target)
 		}
 	}
-	out := make([][]int, n)
-	for i := range adj {
-		for v := range adj[i] {
-			out[i] = append(out[i], v)
-		}
-		// Map iteration order is randomized per process; sort so the
-		// adjacency lists (and hence every downstream random neighbour pick)
-		// are a pure function of the seed.
-		sort.Ints(out[i])
+	// Emit CSR directly: prefix-sum the degrees, copy each node's slots and
+	// sort them in place (adjacency order must be a pure function of the
+	// seed). Rows are disjoint, so the copy+sort fans out across ranges.
+	g := &Graph{n: n}
+	g.outOff = make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		g.outOff[i+1] = g.outOff[i] + int64(adj.deg[i])
 	}
-	return NewFromOut(out)
+	g.outAdj = make([]int32, g.outOff[n])
+	forRanges(n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := g.outAdj[g.outOff[i]:g.outOff[i+1]]
+			m := copy(row, adj.slab[i*adj.capPer:i*adj.capPer+min(int(adj.deg[i]), adj.capPer)])
+			copy(row[m:], adj.spill[i])
+			insertionSortInt32(row)
+		}
+	})
+	g.buildIn()
+	return g, nil
+}
+
+// wsSlack is the per-node degree headroom of the Watts–Strogatz adjacency
+// slab. Rewiring can push a node's degree above its initial k when several
+// rewired edges land on it; the slab absorbs up to wsSlack extra neighbours
+// before the node spills into a side list.
+const wsSlack = 8
+
+// wsAdj is the evolving undirected adjacency used during Watts–Strogatz
+// rewiring: a dense slab of capPer slots per node plus a spill map for the
+// statistically rare nodes whose degree exceeds capPer.
+type wsAdj struct {
+	n      int
+	capPer int
+	deg    []int32
+	slab   []int32
+	spill  map[int][]int32
+}
+
+func newWsAdj(n, k int) *wsAdj {
+	capPer := k + wsSlack
+	return &wsAdj{
+		n:      n,
+		capPer: capPer,
+		deg:    make([]int32, n),
+		slab:   make([]int32, n*capPer),
+	}
+}
+
+func (a *wsAdj) contains(u int, v int32) bool {
+	d := int(a.deg[u])
+	base := u * a.capPer
+	for _, x := range a.slab[base : base+min(d, a.capPer)] {
+		if x == v {
+			return true
+		}
+	}
+	if d > a.capPer {
+		for _, x := range a.spill[u] {
+			if x == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (a *wsAdj) addHalf(u int, v int32) {
+	d := int(a.deg[u])
+	if d < a.capPer {
+		a.slab[u*a.capPer+d] = v
+	} else {
+		if a.spill == nil {
+			a.spill = make(map[int][]int32)
+		}
+		a.spill[u] = append(a.spill[u], v)
+	}
+	a.deg[u] = int32(d + 1)
+}
+
+func (a *wsAdj) removeHalf(u int, v int32) {
+	d := int(a.deg[u])
+	base := u * a.capPer
+	idx := -1
+	for j := 0; j < min(d, a.capPer); j++ {
+		if a.slab[base+j] == v {
+			idx = j
+			break
+		}
+	}
+	if idx < 0 && d > a.capPer {
+		for j, x := range a.spill[u] {
+			if x == v {
+				idx = a.capPer + j
+				break
+			}
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	// Swap the last slot into the vacated one and shrink.
+	last := d - 1
+	var lastVal int32
+	if last >= a.capPer {
+		sp := a.spill[u]
+		lastVal = sp[last-a.capPer]
+		a.spill[u] = sp[:last-a.capPer]
+	} else {
+		lastVal = a.slab[base+last]
+	}
+	if idx != last {
+		if idx >= a.capPer {
+			a.spill[u][idx-a.capPer] = lastVal
+		} else {
+			a.slab[base+idx] = lastVal
+		}
+	}
+	a.deg[u] = int32(last)
+}
+
+func (a *wsAdj) addEdge(u, v int) {
+	a.addHalf(u, int32(v))
+	a.addHalf(v, int32(u))
+}
+
+func (a *wsAdj) removeEdge(u, v int) {
+	a.removeHalf(u, int32(v))
+	a.removeHalf(v, int32(u))
+}
+
+// insertionSortInt32 sorts a short row in place without the closure and
+// interface overhead of the sort package; adjacency rows are ~k entries.
+func insertionSortInt32(row []int32) {
+	for i := 1; i < len(row); i++ {
+		v := row[i]
+		j := i - 1
+		for j >= 0 && row[j] > v {
+			row[j+1] = row[j]
+			j--
+		}
+		row[j+1] = v
+	}
 }
 
 // Ring builds a directed ring where node i links to the k nodes following it.
@@ -241,13 +468,22 @@ func Ring(n, k int) (*Graph, error) {
 	if k < 1 || k >= n {
 		return nil, fmt.Errorf("overlay: Ring k=%d out of range [1,%d)", k, n)
 	}
-	out := make([][]int, n)
+	g := &Graph{n: n}
+	g.outOff = make([]int64, n+1)
+	g.outAdj = make([]int32, n*k)
 	for i := 0; i < n; i++ {
-		for d := 1; d <= k; d++ {
-			out[i] = append(out[i], (i+d)%n)
-		}
+		g.outOff[i+1] = int64((i + 1) * k)
 	}
-	return NewFromOut(out)
+	forRanges(n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			base := i * k
+			for d := 1; d <= k; d++ {
+				g.outAdj[base+d-1] = int32((i + d) % n)
+			}
+		}
+	})
+	g.buildIn()
+	return g, nil
 }
 
 // Complete builds a complete directed graph (every node links to every other

@@ -324,3 +324,102 @@ func TestWattsStrogatzDeterministicBySeed(t *testing.T) {
 		}
 	}
 }
+
+func TestRandomKOutParallelWorkerIndependence(t *testing.T) {
+	const n, k = 500, 7
+	base, err := RandomKOutParallel(n, k, 99, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 3, 8} {
+		g, err := RandomKOutParallel(n, k, 99, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			av, bv := base.OutNeighbors(i), g.OutNeighbors(i)
+			if len(av) != len(bv) {
+				t.Fatalf("workers=%d node %d: degree %d vs %d", workers, i, len(bv), len(av))
+			}
+			for j := range av {
+				if av[j] != bv[j] {
+					t.Fatalf("workers=%d node %d: neighbour %d is %d vs %d", workers, i, j, bv[j], av[j])
+				}
+			}
+		}
+	}
+}
+
+func TestRandomKOutParallelProperties(t *testing.T) {
+	const n, k = 300, 20
+	g, err := RandomKOutParallel(n, k, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges() != n*k {
+		t.Fatalf("edges = %d, want %d", g.Edges(), n*k)
+	}
+	for i := 0; i < n; i++ {
+		nbrs := g.OutNeighbors(i)
+		if len(nbrs) != k {
+			t.Fatalf("node %d: degree %d, want %d", i, len(nbrs), k)
+		}
+		seen := make(map[int32]bool, k)
+		for _, v := range nbrs {
+			if int(v) == i {
+				t.Fatalf("node %d: self-loop", i)
+			}
+			if seen[v] {
+				t.Fatalf("node %d: duplicate neighbour %d", i, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestRandomKOutParallelValidation(t *testing.T) {
+	if _, err := RandomKOutParallel(1, 1, 0, 1); err == nil {
+		t.Fatal("n=1 should fail")
+	}
+	if _, err := RandomKOutParallel(10, 10, 0, 1); err == nil {
+		t.Fatal("k=n should fail")
+	}
+}
+
+// TestWsAdjSpill exercises the spill path of the rewiring adjacency directly:
+// a node pushed past its slab capacity must keep answering membership queries
+// and removals exactly like a set.
+func TestWsAdjSpill(t *testing.T) {
+	const k = 2
+	a := newWsAdj(64, k)
+	u := 3
+	total := a.capPer + 5 // force 5 spilled entries
+	for v := 0; v < total; v++ {
+		a.addHalf(u, int32(10+v))
+	}
+	if int(a.deg[u]) != total {
+		t.Fatalf("deg = %d, want %d", a.deg[u], total)
+	}
+	for v := 0; v < total; v++ {
+		if !a.contains(u, int32(10+v)) {
+			t.Fatalf("missing member %d", 10+v)
+		}
+	}
+	if a.contains(u, 9) || a.contains(u, int32(10+total)) {
+		t.Fatal("contains reports non-member")
+	}
+	// Remove from the middle of the slab (forces a spill→slab swap), from the
+	// spill region, and from the end, verifying set semantics throughout.
+	for _, v := range []int32{11, int32(10 + a.capPer + 2), int32(10 + total - 1), 10} {
+		if !a.contains(u, v) {
+			t.Fatalf("pre-remove: %d should be a member", v)
+		}
+		a.removeHalf(u, v)
+		if a.contains(u, v) {
+			t.Fatalf("post-remove: %d still a member", v)
+		}
+	}
+	if int(a.deg[u]) != total-4 {
+		t.Fatalf("deg after removals = %d, want %d", a.deg[u], total-4)
+	}
+}

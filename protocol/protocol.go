@@ -129,34 +129,42 @@ type Node struct {
 	peers    PeerSelector
 	sender   Sender
 	rng      Rand
-	account  *core.Account
-	stats    Stats
+	state    *NodeState
 }
 
-// NewNode validates the configuration and returns a ready-to-run node.
+// NewNode validates the configuration and returns a ready-to-run node with
+// privately allocated state. Runtimes that build many nodes at once should
+// use a Slab instead, which backs all node state with two contiguous arrays.
 func NewNode(cfg Config) (*Node, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Node{
+	st := &NodeState{Account: core.MakeAccount(cfg.InitialTokens, core.AllowsOverspend(cfg.Strategy))}
+	n := makeNode(cfg, st)
+	return &n, nil
+}
+
+// makeNode assembles a Node value over already-initialized state.
+func makeNode(cfg Config, st *NodeState) Node {
+	return Node{
 		id:       cfg.ID,
 		strategy: cfg.Strategy,
 		app:      cfg.Application,
 		peers:    cfg.Peers,
 		sender:   cfg.Sender,
 		rng:      cfg.RNG,
-		account:  core.NewAccount(cfg.InitialTokens, core.AllowsOverspend(cfg.Strategy)),
-	}, nil
+		state:    st,
+	}
 }
 
 // ID returns the node's identity.
 func (n *Node) ID() NodeID { return n.id }
 
 // Tokens returns the current account balance.
-func (n *Node) Tokens() int { return n.account.Balance() }
+func (n *Node) Tokens() int { return n.state.Account.Balance() }
 
 // Stats returns a snapshot of the node's activity counters.
-func (n *Node) Stats() Stats { return n.stats }
+func (n *Node) Stats() Stats { return n.state.Stats }
 
 // Strategy returns the node's token account strategy.
 func (n *Node) Strategy() core.Strategy { return n.strategy }
@@ -168,18 +176,18 @@ func (n *Node) Application() Application { return n.app }
 // probability PROACTIVE(a) the node sends a freshly created message to a
 // sampled peer, otherwise it banks the token granted for this period.
 func (n *Node) Tick() {
-	n.stats.Rounds++
-	if core.Bernoulli(n.strategy.Proactive(n.account.Balance()), n.rng) {
+	n.state.Stats.Rounds++
+	if core.Bernoulli(n.strategy.Proactive(n.state.Account.Balance()), n.rng) {
 		if n.sendOne() {
-			n.stats.ProactiveSent++
+			n.state.Stats.ProactiveSent++
 			return
 		}
 		// No peer was available: the round's token would otherwise be lost
 		// to a message that cannot be sent, so bank it instead. This keeps
 		// the node's long-run budget intact under churn.
 	}
-	n.account.Deposit(1)
-	n.stats.TokensBanked++
+	n.state.Account.Deposit(1)
+	n.state.Stats.TokensBanked++
 }
 
 // Receive executes the ONMESSAGE handler of Algorithm 4: the application
@@ -187,21 +195,21 @@ func (n *Node) Tick() {
 // number of response messages, tokens are spent accordingly and the messages
 // are sent to independently sampled peers.
 func (n *Node) Receive(from NodeID, payload Payload) {
-	n.stats.Received++
+	n.state.Stats.Received++
 	useful := n.app.UpdateState(from, payload)
 	if useful {
-		n.stats.UsefulReceived++
+		n.state.Stats.UsefulReceived++
 	}
-	want := core.RandRound(n.strategy.Reactive(n.account.Balance(), useful), n.rng)
-	spend := n.account.SpendUpTo(want)
+	want := core.RandRound(n.strategy.Reactive(n.state.Account.Balance(), useful), n.rng)
+	spend := n.state.Account.SpendUpTo(want)
 	for i := 0; i < spend; i++ {
 		if !n.sendOne() {
 			// No reachable peer: refund the unused tokens.
-			n.account.Deposit(spend - i)
-			n.stats.TokensBanked += spend - i
+			n.state.Account.Deposit(spend - i)
+			n.state.Stats.TokensBanked += spend - i
 			return
 		}
-		n.stats.ReactiveSent++
+		n.state.Stats.ReactiveSent++
 	}
 }
 
@@ -221,11 +229,11 @@ func (n *Node) RespondDirect(to NodeID) bool {
 // not CreateMessage — e.g. blockcast serving a full block in answer to a
 // pull — while keeping the response token-gated like every reactive send.
 func (n *Node) RespondPayload(to NodeID, payload Payload) bool {
-	if n.account.SpendUpTo(1) == 0 {
+	if n.state.Account.SpendUpTo(1) == 0 {
 		return false
 	}
 	n.sender.Send(n.id, to, payload)
-	n.stats.ReactiveSent++
+	n.state.Stats.ReactiveSent++
 	return true
 }
 

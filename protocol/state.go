@@ -1,0 +1,72 @@
+package protocol
+
+import (
+	"fmt"
+
+	"github.com/szte-dcs/tokenaccount/core"
+)
+
+// NodeState is the hot mutable per-node state of Algorithm 4: the token
+// account and the activity counters. It is deliberately small and
+// pointer-free so a whole network's state packs into one contiguous slab
+// (struct of arrays) instead of one heap object per node.
+type NodeState struct {
+	// Account is the node's token account, stored by value.
+	Account core.Account
+	// Stats are the node's activity counters.
+	Stats Stats
+}
+
+// Slab is a struct-of-arrays allocation of protocol nodes: all Node facades
+// live in one contiguous array and all mutable NodeState values in another,
+// both addressed by dense node index. Building n nodes through a Slab costs
+// two allocations total instead of 2n (Node + Account per node), and keeps
+// the state cache-resident when the runtime scans balances or counters.
+//
+// Init must be called exactly once per index before the node is used. Node
+// pointers returned by Node remain valid for the lifetime of the slab; the
+// backing arrays are never reallocated.
+type Slab struct {
+	nodes  []Node
+	states []NodeState
+}
+
+// NewSlab returns a slab with capacity for n nodes, all uninitialized.
+func NewSlab(n int) *Slab {
+	if n < 0 {
+		panic(fmt.Sprintf("protocol: NewSlab(%d): negative size", n))
+	}
+	return &Slab{
+		nodes:  make([]Node, n),
+		states: make([]NodeState, n),
+	}
+}
+
+// Len returns the slab's capacity in nodes.
+func (s *Slab) Len() int { return len(s.nodes) }
+
+// Init validates cfg and initializes node i in place. It is safe to call
+// concurrently for distinct indices, which is what the runtime's parallel
+// build loop does.
+func (s *Slab) Init(i int, cfg Config) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	s.states[i] = NodeState{Account: core.MakeAccount(cfg.InitialTokens, core.AllowsOverspend(cfg.Strategy))}
+	s.nodes[i] = makeNode(cfg, &s.states[i])
+	return nil
+}
+
+// Node returns the facade for node i. The pointer is stable for the slab's
+// lifetime.
+func (s *Slab) Node(i int) *Node { return &s.nodes[i] }
+
+// State returns the mutable state of node i. The pointer aliases the state
+// used by the Node facade: reads and writes through either view observe the
+// same balance and counters.
+func (s *Slab) State(i int) *NodeState { return &s.states[i] }
+
+// States returns the backing state array for sequential scans (average
+// balance, stats totals). Callers must treat its length as fixed and must
+// not retain it beyond the slab's lifetime.
+func (s *Slab) States() []NodeState { return s.states }

@@ -3,9 +3,10 @@ package runtime
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/szte-dcs/tokenaccount/core"
-	"github.com/szte-dcs/tokenaccount/internal/peersample"
+	"github.com/szte-dcs/tokenaccount/internal/rng"
 	"github.com/szte-dcs/tokenaccount/netmodel"
 	"github.com/szte-dcs/tokenaccount/overlay"
 	"github.com/szte-dcs/tokenaccount/protocol"
@@ -53,6 +54,14 @@ type Config struct {
 	// two knobs compose deterministically), which requires an environment
 	// implementing DelayedSender.
 	Network netmodel.Model
+	// BuildWorkers bounds the number of goroutines NewHost uses to initialize
+	// the node slab. 0 or 1 builds sequentially. With more workers, the
+	// Strategy and NewApp callbacks must be safe to call concurrently for
+	// distinct node indices (true for all built-in experiment apps, which only
+	// write per-node slots of preallocated slices). The assembled host is
+	// identical for every worker count: node construction consumes no
+	// randomness — every stream is derived per node, not drawn in sequence.
+	BuildWorkers int
 }
 
 func (c Config) validate() error {
@@ -91,10 +100,16 @@ func (c Config) validate() error {
 // streams and counters — by shard, so the shard workers the environment runs
 // internally never contend; external interaction remains single-goroutine.
 type Host struct {
-	cfg   Config
-	env   Env
-	nodes []*protocol.Node
-	apps  []protocol.Application
+	cfg Config
+	env Env
+
+	// slab holds every node's facade and hot state in two contiguous arrays
+	// (struct of arrays); samplers and rngs are the companion slabs for peer
+	// sampling state and per-node generator state, so building n nodes costs
+	// a handful of allocations instead of several per node.
+	slab     *protocol.Slab
+	samplers []neighborSampler
+	rngs     []rng.Source
 
 	// netRNG is the coordinator's StreamNet stream: random node and
 	// neighbour selection, and — in unsharded runs — every per-message draw.
@@ -126,6 +141,9 @@ type Host struct {
 	sizers    []func(word uint64) int
 	nodeBytes []int64
 
+	// envelopes is nil unless Config.AuditNodes requests rate-limit audits:
+	// audit buffers are strictly opt-in, so a plain run retains nothing
+	// per-node beyond the slabs and streaming accumulators.
 	envelopes map[int]*core.Envelope
 
 	// skippedInjections counts update injections that found no online node.
@@ -134,11 +152,14 @@ type Host struct {
 	// field suffices.
 	skippedInjections int64
 
-	// neighborScratch is reused across RandomOnlineNeighbor calls so the
-	// reactive hot path never allocates; like the protocol nodes, the Host
-	// is single-threaded, so one buffer suffices (it mirrors the scratch
-	// buffer of peersample.Overlay).
-	neighborScratch []int32
+	// hookEnv and shardHooks are the environment's typed event schedulers
+	// (nil where the environment lacks the HookScheduler capability, in which
+	// case scheduling falls back to closures): hookEnv for coordinator events,
+	// shardHooks[s] for shard s. shardScheds caches the Shard(s) facades so
+	// per-tick rescheduling never re-fetches them.
+	hookEnv     HookScheduler
+	shardHooks  []HookScheduler
+	shardScheds []ShardScheduler
 }
 
 var _ protocol.Sender = (*Host)(nil)
@@ -169,14 +190,14 @@ func NewHost(env Env, cfg Config) (*Host, error) {
 	h := &Host{
 		cfg:       cfg,
 		env:       env,
-		nodes:     make([]*protocol.Node, n),
-		apps:      make([]protocol.Application, n),
+		slab:      protocol.NewSlab(n),
+		samplers:  make([]neighborSampler, n),
 		netRNG:    env.Rand(StreamNet),
 		network:   cfg.Network,
-		envelopes: make(map[int]*core.Envelope),
 		sizers:    protocol.PayloadSizerTable(),
 		nodeBytes: make([]int64, n),
 	}
+	h.hookEnv, _ = env.(HookScheduler)
 	if sh, ok := env.(Sharded); ok && sh.NumShards() > 1 {
 		shards := sh.NumShards()
 		h.sharded = sh
@@ -185,8 +206,12 @@ func NewHost(env Env, cfg Config) (*Host, error) {
 			h.shardOfNode[i] = int32(sh.ShardOf(i))
 		}
 		h.netRNGs = make([]protocol.Rand, shards)
+		h.shardHooks = make([]HookScheduler, shards)
+		h.shardScheds = make([]ShardScheduler, shards)
 		for s := range h.netRNGs {
 			h.netRNGs[s] = env.Rand(ShardNetStream(s))
+			h.shardScheds[s] = sh.Shard(s)
+			h.shardHooks[s], _ = h.shardScheds[s].(HookScheduler)
 		}
 		h.counts = make([]shardCounters, shards)
 	} else {
@@ -200,42 +225,68 @@ func NewHost(env Env, cfg Config) (*Host, error) {
 		}
 		h.delayedSend = ds
 	}
-	liveness := func(id protocol.NodeID) bool { return env.Online(int(id)) }
-	for i := 0; i < n; i++ {
+	seeder, _ := env.(StreamSeeder)
+	if seeder != nil {
+		h.rngs = make([]rng.Source, n)
+	}
+	// buildNode initializes node i in place. Construction consumes no shared
+	// randomness — each node's stream is derived from its index — and writes
+	// only slot i of the slabs, so disjoint index ranges build concurrently.
+	buildNode := func(i int) error {
 		app := cfg.NewApp(i)
 		if app == nil {
-			return nil, fmt.Errorf("runtime: NewApp(%d) returned nil", i)
+			return fmt.Errorf("runtime: NewApp(%d) returned nil", i)
 		}
 		strategy := cfg.Strategy(i)
 		if strategy == nil {
-			return nil, fmt.Errorf("runtime: Strategy(%d) returned nil", i)
+			return fmt.Errorf("runtime: Strategy(%d) returned nil", i)
 		}
-		sampler, err := peersample.NewOverlay(cfg.Graph, i, liveness)
-		if err != nil {
-			return nil, fmt.Errorf("runtime: node %d sampler: %w", i, err)
+		h.samplers[i] = neighborSampler{h: h, self: int32(i)}
+		var r protocol.Rand
+		if seeder != nil {
+			h.rngs[i] = rng.Seeded(seeder.StreamSeed(uint64(i)))
+			r = &h.rngs[i]
+		} else {
+			r = env.Rand(uint64(i))
 		}
-		node, err := protocol.NewNode(protocol.Config{
+		if err := h.slab.Init(i, protocol.Config{
 			ID:            protocol.NodeID(i),
 			Strategy:      strategy,
 			Application:   app,
-			Peers:         sampler,
+			Peers:         &h.samplers[i],
 			Sender:        h,
-			RNG:           env.Rand(uint64(i)),
+			RNG:           r,
 			InitialTokens: cfg.InitialTokens,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("runtime: node %d: %w", i, err)
+		}); err != nil {
+			return fmt.Errorf("runtime: node %d: %w", i, err)
 		}
-		h.nodes[i] = node
-		h.apps[i] = app
-		if cfg.Trace != nil && !cfg.Trace.Online(i, 0) {
-			env.SetOffline(i)
+		return nil
+	}
+	if workers := cfg.BuildWorkers; workers > 1 {
+		if err := buildParallel(n, workers, buildNode); err != nil {
+			return nil, err
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			if err := buildNode(i); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if cfg.Trace != nil {
+		for i := 0; i < n; i++ {
+			if !cfg.Trace.Online(i, 0) {
+				env.SetOffline(i)
+			}
 		}
 	}
 	for _, i := range cfg.AuditNodes {
-		capacity := h.nodes[i].Strategy().Capacity()
+		capacity := h.slab.Node(i).Strategy().Capacity()
 		if capacity == core.UnboundedCapacity {
 			continue // nothing to audit for unbounded strategies
+		}
+		if h.envelopes == nil {
+			h.envelopes = make(map[int]*core.Envelope)
 		}
 		h.envelopes[i] = core.NewEnvelope(cfg.Delta, capacity)
 	}
@@ -245,50 +296,211 @@ func NewHost(env Env, cfg Config) (*Host, error) {
 	return h, nil
 }
 
+// buildParallel runs build(i) for every i in [0, n) using up to workers
+// goroutines over contiguous index ranges. If several nodes fail, the error
+// of the lowest index is returned, matching the sequential order.
+func buildParallel(n, workers int, build func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	type rangeErr struct {
+		i   int
+		err error
+	}
+	errs := make([]rangeErr, 0, workers)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if err := build(i); err != nil {
+					mu.Lock()
+					errs = append(errs, rangeErr{i: i, err: err})
+					mu.Unlock()
+					return
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	var first *rangeErr
+	for j := range errs {
+		if first == nil || errs[j].i < first.i {
+			first = &errs[j]
+		}
+	}
+	if first != nil {
+		return first.err
+	}
+	return nil
+}
+
 // scheduleRounds starts every node's proactive loop at a random phase. On a
 // sharded environment the loop is scheduled on the node's owning shard, so
 // ticks execute on the shard worker; the phase draws happen in node order
 // either way, so they are identical for every shard count.
+//
+// Where the environment supports typed hook events the loop is driven by
+// tickHook — one event per pending tick, no closures — which schedules and
+// reschedules at exactly the points the closure-based Every would (one event
+// at assembly, one after each executed tick), so event (time, seq) order and
+// hence every golden output is unchanged. Environments without the
+// capability (the live runtime) keep the closure path.
 func (h *Host) scheduleRounds() {
 	phaseRNG := h.env.Rand(StreamPhase)
-	for i := range h.nodes {
-		i := i
+	n := h.slab.Len()
+	for i := 0; i < n; i++ {
 		phase := phaseRNG.Float64() * h.cfg.Delta
-		tick := func() bool {
+		if h.sharded != nil {
+			s := int(h.shardOfNode[i])
+			sched := h.shardScheds[s]
+			if hs := h.shardHooks[s]; hs != nil {
+				hs.AtHook(sched.Now()+phase, (*tickHook)(h), int32(i), 0)
+				continue
+			}
+			i := i
+			sched.Every(phase, h.cfg.Delta, func() bool {
+				if h.env.Online(i) {
+					h.slab.Node(i).Tick()
+				}
+				return true
+			})
+			continue
+		}
+		if h.hookEnv != nil {
+			h.hookEnv.AtHook(h.env.Now()+phase, (*tickHook)(h), int32(i), 0)
+			continue
+		}
+		i := i
+		h.env.Every(phase, h.cfg.Delta, func() bool {
 			if h.env.Online(i) {
-				h.nodes[i].Tick()
+				h.slab.Node(i).Tick()
 			}
 			return true
-		}
-		if h.sharded != nil {
-			h.sharded.Shard(int(h.shardOfNode[i])).Every(phase, h.cfg.Delta, tick)
-		} else {
-			h.env.Every(phase, h.cfg.Delta, tick)
-		}
+		})
+	}
+}
+
+// tickHook drives one node's proactive loop as a typed event: tick the node
+// if it is online, then reschedule one period later — the exact behaviour of
+// the closure the Every-based path builds, without the closure. It is the
+// Host itself under a distinct method set, so scheduling it costs no
+// allocation and hook identity is stable across the run.
+type tickHook Host
+
+func (t *tickHook) RunHook(node int32, _ uint64) {
+	h := (*Host)(t)
+	if h.env.Online(int(node)) {
+		h.slab.Node(int(node)).Tick()
+	}
+	if h.sharded != nil {
+		s := int(h.shardOfNode[node])
+		h.shardHooks[s].AtHook(h.shardScheds[s].Now()+h.cfg.Delta, t, node, 0)
+		return
+	}
+	h.hookEnv.AtHook(h.env.Now()+h.cfg.Delta, t, node, 0)
+}
+
+// churnHook applies one trace transition as a typed event: word 1 brings the
+// node online (firing the rejoin hook), word 0 takes it offline.
+type churnHook Host
+
+func (c *churnHook) RunHook(node int32, word uint64) {
+	h := (*Host)(c)
+	if word == 1 {
+		h.SetOnline(int(node))
+	} else {
+		h.SetOffline(int(node))
 	}
 }
 
 // scheduleChurn schedules the online/offline transitions from the trace.
+// Transitions are coordinator events; with a HookScheduler environment each
+// one is a typed churnHook event instead of a closure.
 func (h *Host) scheduleChurn() {
 	tr := h.cfg.Trace
 	if tr == nil {
 		return
 	}
-	for i := 0; i < len(h.nodes) && i < tr.N(); i++ {
-		i := i
+	n := h.slab.Len()
+	for i := 0; i < n && i < tr.N(); i++ {
 		for _, iv := range tr.Segments[i].Intervals {
 			if iv.Start > 0 {
-				h.env.At(iv.Start, func() { h.SetOnline(i) })
+				if h.hookEnv != nil {
+					h.hookEnv.AtHook(iv.Start, (*churnHook)(h), int32(i), 1)
+				} else {
+					i := i
+					h.env.At(iv.Start, func() { h.SetOnline(i) })
+				}
 			}
 			if iv.End < tr.Duration {
 				// An interval reaching the end of the trace never transitions
 				// back to offline: the run ends there anyway, and scheduling
 				// the transition would make end-of-run metrics see an empty
 				// network.
-				h.env.At(iv.End, func() { h.SetOffline(i) })
+				if h.hookEnv != nil {
+					h.hookEnv.AtHook(iv.End, (*churnHook)(h), int32(i), 0)
+				} else {
+					i := i
+					h.env.At(iv.End, func() { h.SetOffline(i) })
+				}
 			}
 		}
 	}
+}
+
+// neighborSampler is the Host-internal peer sampling service: a uniform draw
+// over the node's currently-online out-neighbours, stored as one 16-byte
+// slot in the samplers slab. The two-pass scan (count, draw, select) makes
+// the same single Intn call as the historical scratch-buffer implementation
+// — the count equals the buffer length it would have built — so peer choices
+// are bit-identical while the sampler itself holds no per-node buffer at
+// all. Double-scanning is safe: availability flags cannot change within one
+// SelectPeer call (callbacks are serialized; in sharded runs flips happen
+// only at barriers).
+type neighborSampler struct {
+	h    *Host
+	self int32
+}
+
+var _ protocol.PeerSelector = (*neighborSampler)(nil)
+
+func (ns *neighborSampler) SelectPeer(r protocol.Rand) (protocol.NodeID, bool) {
+	return ns.h.selectOnlineNeighbor(int(ns.self), r)
+}
+
+// selectOnlineNeighbor returns a uniformly random online out-neighbour of
+// node i, drawing exactly one Intn from r, or false (and no draw) if none is
+// online.
+func (h *Host) selectOnlineNeighbor(i int, r protocol.Rand) (protocol.NodeID, bool) {
+	nbrs := h.cfg.Graph.OutNeighbors(i)
+	online := 0
+	for _, v := range nbrs {
+		if h.env.Online(int(v)) {
+			online++
+		}
+	}
+	if online == 0 {
+		return protocol.NoNode, false
+	}
+	j := r.Intn(online)
+	for _, v := range nbrs {
+		if !h.env.Online(int(v)) {
+			continue
+		}
+		if j == 0 {
+			return protocol.NodeID(v), true
+		}
+		j--
+	}
+	return protocol.NoNode, false // unreachable: the flags cannot change mid-call
 }
 
 // Env exposes the underlying environment, e.g. to schedule update injections
@@ -299,13 +511,14 @@ func (h *Host) Env() Env { return h.env }
 func (h *Host) Run(until float64) error { return h.env.Run(until) }
 
 // N returns the number of nodes.
-func (h *Host) N() int { return len(h.nodes) }
+func (h *Host) N() int { return h.slab.Len() }
 
-// Node returns the protocol node with index i.
-func (h *Host) Node(i int) *protocol.Node { return h.nodes[i] }
+// Node returns the protocol node with index i. The pointer is a facade over
+// the host's state slab, stable for the host's lifetime.
+func (h *Host) Node(i int) *protocol.Node { return h.slab.Node(i) }
 
 // App returns the application instance of node i.
-func (h *Host) App(i int) protocol.Application { return h.apps[i] }
+func (h *Host) App(i int) protocol.Application { return h.slab.Node(i).Application() }
 
 // Online reports whether node i is currently online.
 func (h *Host) Online(i int) bool { return h.env.Online(i) }
@@ -330,7 +543,7 @@ func (h *Host) SetOffline(i int) { h.env.SetOffline(i) }
 // OnlineCount returns the number of currently online nodes.
 func (h *Host) OnlineCount() int {
 	count := 0
-	for i := range h.nodes {
+	for i, n := 0, h.slab.Len(); i < n; i++ {
 		if h.env.Online(i) {
 			count++
 		}
@@ -344,7 +557,7 @@ func (h *Host) OnlineCount() int {
 // coordinator's StreamNet stream, so in sharded runs it must only be called
 // from coordinator context (assembly, run-global events, rejoin hooks).
 func (h *Host) RandomOnlineNode() (int, bool) {
-	n := len(h.nodes)
+	n := h.slab.Len()
 	for attempt := 0; attempt < 32; attempt++ {
 		i := h.netRNG.Intn(n)
 		if h.env.Online(i) {
@@ -363,21 +576,16 @@ func (h *Host) RandomOnlineNode() (int, bool) {
 
 // RandomOnlineNeighbor returns a uniformly random online out-neighbour of the
 // given node, or false if none is online. Like RandomOnlineNode it is
-// coordinator-context only in sharded runs (it shares the coordinator stream
-// and scratch buffer).
+// coordinator-context only in sharded runs (it shares the coordinator
+// stream). It uses the same two-pass scan as the internal peer sampler: one
+// Intn draw when a neighbour is online, none otherwise, identical to the
+// historical scratch-buffer implementation.
 func (h *Host) RandomOnlineNeighbor(i int) (int, bool) {
-	nbrs := h.cfg.Graph.OutNeighbors(i)
-	online := h.neighborScratch[:0]
-	for _, v := range nbrs {
-		if h.env.Online(int(v)) {
-			online = append(online, v)
-		}
-	}
-	h.neighborScratch = online
-	if len(online) == 0 {
+	peer, ok := h.selectOnlineNeighbor(i, h.netRNG)
+	if !ok {
 		return 0, false
 	}
-	return int(online[h.netRNG.Intn(len(online))]), true
+	return int(peer), true
 }
 
 // SkipInjection records one update injection that was abandoned because no
@@ -496,7 +704,7 @@ func (h *Host) deliver(from, to protocol.NodeID, payload protocol.Payload) {
 		return
 	}
 	c.delivered++
-	h.nodes[to].Receive(from, payload)
+	h.slab.Node(int(to)).Receive(from, payload)
 }
 
 // MessagesSent returns the total number of messages handed to the host.
@@ -545,14 +753,16 @@ func (h *Host) BytesSent() int64 {
 func (h *Host) NodeBytes(i int) int64 { return h.nodeBytes[i] }
 
 // AverageTokens returns the mean account balance. With onlineOnly set, only
-// online nodes are considered (the churn scenario's convention).
+// online nodes are considered (the churn scenario's convention). The scan
+// runs over the contiguous state slab, not the node facades.
 func (h *Host) AverageTokens(onlineOnly bool) float64 {
 	sum, count := 0, 0
-	for i, node := range h.nodes {
+	states := h.slab.States()
+	for i := range states {
 		if onlineOnly && !h.env.Online(i) {
 			continue
 		}
-		sum += node.Tokens()
+		sum += states[i].Account.Balance()
 		count++
 	}
 	if count == 0 {
@@ -561,11 +771,13 @@ func (h *Host) AverageTokens(onlineOnly bool) float64 {
 	return float64(sum) / float64(count)
 }
 
-// TotalStats aggregates the protocol counters over all nodes.
+// TotalStats aggregates the protocol counters over all nodes with one scan
+// of the state slab.
 func (h *Host) TotalStats() protocol.Stats {
 	var total protocol.Stats
-	for _, node := range h.nodes {
-		s := node.Stats()
+	states := h.slab.States()
+	for i := range states {
+		s := &states[i].Stats
 		total.ProactiveSent += s.ProactiveSent
 		total.ReactiveSent += s.ReactiveSent
 		total.Received += s.Received

@@ -141,6 +141,37 @@ type Sharded interface {
 	Shard(s int) ShardScheduler
 }
 
+// Hook is a pre-registered target for typed scheduled events: RunHook is
+// invoked when a hook event scheduled with HookScheduler.AtHook comes due,
+// with the node index and word captured at schedule time. Hosts use hooks for
+// the per-node proactive loops and churn transitions, which would otherwise
+// cost one long-lived closure per node per event.
+type Hook interface {
+	RunHook(node int32, word uint64)
+}
+
+// HookScheduler is an optional capability of Env and ShardScheduler. AtHook
+// behaves exactly like At(t, func() { hook.RunHook(node, word) }) — same
+// past-time clamping, same position in the environment's tie-break order —
+// but carries (hook, node, word) as plain event data, so per-node events
+// schedule without materializing closures. Implementations may key internal
+// state on the hook's identity; callers must register each distinct hook
+// (its first AtHook call) during assembly or from coordinator context, and
+// may then reschedule it freely from its own callbacks.
+type HookScheduler interface {
+	AtHook(t float64, hook Hook, node int32, word uint64)
+}
+
+// StreamSeeder is an optional Env capability for environments whose Rand
+// streams are pure functions of a run seed: StreamSeed returns the derived
+// seed of one stream, such that a SplitMix64 generator seeded with it yields
+// exactly the Rand(stream) sequence. The Host uses it to keep all per-node
+// generator state in one contiguous slab (8 bytes per node) instead of
+// allocating one generator object per node.
+type StreamSeeder interface {
+	StreamSeed(stream uint64) uint64
+}
+
 // Randomness stream indices used by the Host. Environments derive their
 // streams with rng.Derive(seed, stream), so these constants pin down the
 // exact random sequences of a run: node i draws from stream uint64(i), the

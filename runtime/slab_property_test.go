@@ -1,0 +1,208 @@
+package runtime_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/szte-dcs/tokenaccount/apps/pushgossip"
+	"github.com/szte-dcs/tokenaccount/core"
+	"github.com/szte-dcs/tokenaccount/internal/rng"
+	"github.com/szte-dcs/tokenaccount/protocol"
+	"github.com/szte-dcs/tokenaccount/runtime"
+	"github.com/szte-dcs/tokenaccount/trace"
+)
+
+// The slab refactor's contract is behavioural transparency: a node whose
+// state lives in a shared struct-of-arrays slab must be indistinguishable
+// from one whose state is privately allocated (the pre-refactor layout,
+// still exercised by protocol.NewNode), and a host built by parallel
+// workers must be indistinguishable from one built sequentially. The tests
+// below check both on randomized schedules; the CI soak reruns them under
+// -race, which additionally validates the concurrent slab initialization.
+
+// sentMsg is one recorded outgoing message.
+type sentMsg struct {
+	from, to protocol.NodeID
+	kind     protocol.PayloadKind
+	word     uint64
+}
+
+// recordingSender logs every outgoing message.
+type recordingSender struct{ log []sentMsg }
+
+func (s *recordingSender) Send(from, to protocol.NodeID, p protocol.Payload) {
+	s.log = append(s.log, sentMsg{from, to, p.Kind, p.Word})
+}
+
+// flakySelector samples peers from the node's own RNG and fails one draw in
+// four, modelling the all-neighbours-offline outcome of churn. Both node
+// variants carry identical RNG streams, so the selectors make identical
+// draws.
+type flakySelector struct{ n int }
+
+func (f flakySelector) SelectPeer(r protocol.Rand) (protocol.NodeID, bool) {
+	if r.Intn(4) == 0 {
+		return protocol.NoNode, false
+	}
+	return protocol.NodeID(r.Intn(f.n)), true
+}
+
+// TestSlabNodeMatchesPerObjectNode drives a privately-allocated node
+// (protocol.NewNode — the pre-refactor per-object layout) and a slab-backed
+// node (protocol.Slab) through identical randomized schedules of ticks,
+// receives and direct responses, for every strategy family of the golden
+// configurations, and requires identical balances, stats and outgoing
+// traffic at every step.
+func TestSlabNodeMatchesPerObjectNode(t *testing.T) {
+	strategies := map[string]core.Strategy{
+		"simple":      core.MustSimple(10),
+		"generalized": core.MustGeneralized(5, 10),
+		"randomized":  core.MustRandomized(5, 10),
+		"reactive":    core.MustPureReactive(1, true),
+	}
+	for name, strat := range strategies {
+		for seed := uint64(1); seed <= 5; seed++ {
+			t.Run(fmt.Sprintf("%s/seed=%d", name, seed), func(t *testing.T) {
+				newCfg := func(app protocol.Application, sender protocol.Sender, r protocol.Rand) protocol.Config {
+					return protocol.Config{
+						ID:          3,
+						Strategy:    strat,
+						Application: app,
+						Peers:       flakySelector{n: 50},
+						Sender:      sender,
+						RNG:         r,
+					}
+				}
+				objSender, slabSender := &recordingSender{}, &recordingSender{}
+				objRNG, slabRNG := rng.New(seed), rng.New(seed)
+
+				obj, err := protocol.NewNode(newCfg(pushgossip.New(), objSender, objRNG))
+				if err != nil {
+					t.Fatal(err)
+				}
+				slab := protocol.NewSlab(1)
+				if err := slab.Init(0, newCfg(pushgossip.New(), slabSender, slabRNG)); err != nil {
+					t.Fatal(err)
+				}
+				sn := slab.Node(0)
+
+				sched := rng.New(seed + 1000)
+				for step := 0; step < 400; step++ {
+					switch sched.Intn(3) {
+					case 0:
+						obj.Tick()
+						sn.Tick()
+					case 1:
+						from := protocol.NodeID(sched.Intn(50))
+						p := pushgossip.Update{Seq: int64(sched.Intn(40))}.Payload()
+						obj.Receive(from, p)
+						sn.Receive(from, p)
+					case 2:
+						to := protocol.NodeID(sched.Intn(50))
+						if o, s := obj.RespondDirect(to), sn.RespondDirect(to); o != s {
+							t.Fatalf("step %d: RespondDirect = %v (per-object) vs %v (slab)", step, o, s)
+						}
+					}
+					if obj.Tokens() != sn.Tokens() {
+						t.Fatalf("step %d: tokens %d (per-object) vs %d (slab)", step, obj.Tokens(), sn.Tokens())
+					}
+					if obj.Stats() != sn.Stats() {
+						t.Fatalf("step %d: stats %+v (per-object) vs %+v (slab)", step, obj.Stats(), sn.Stats())
+					}
+				}
+				if len(objSender.log) != len(slabSender.log) {
+					t.Fatalf("sent %d messages (per-object) vs %d (slab)", len(objSender.log), len(slabSender.log))
+				}
+				for i := range objSender.log {
+					if objSender.log[i] != slabSender.log[i] {
+						t.Fatalf("message %d differs: %+v (per-object) vs %+v (slab)", i, objSender.log[i], slabSender.log[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelBuildMatchesSequentialUnderChurn builds the same churny,
+// audited configuration with the sequential loop and with eight build
+// workers, runs both to the same horizon, and requires every observable —
+// per-node balances and stats, message counters, online flags, rejoin
+// sequence and audit envelopes — to agree. Under -race (the CI soak) this
+// doubles as the data-race check on concurrent slab initialization.
+func TestParallelBuildMatchesSequentialUnderChurn(t *testing.T) {
+	const n, seed = 120, 17
+	duration := 30 * delta
+	tr := trace.AlwaysOnline(n, duration)
+	// A third of the nodes take a mid-run outage, staggered so rejoins
+	// interleave with ticks.
+	for i := 0; i < n; i += 3 {
+		start := (3 + float64(i%9)) * delta
+		tr.Segments[i] = trace.Segment{Intervals: []trace.Interval{
+			{Start: 0, End: start},
+			{Start: start + 4*delta, End: duration},
+		}}
+	}
+
+	type result struct {
+		tokens    []int
+		stats     []protocol.Stats
+		online    []bool
+		rejoined  []int
+		sent      int64
+		delivered int64
+		audits    int
+	}
+	build := func(workers int) result {
+		cfg := hostConfig(t, n)
+		cfg.Trace = tr
+		cfg.BuildWorkers = workers
+		cfg.AuditNodes = []int{0, 5, 33}
+		var rejoined []int
+		cfg.OnRejoin = func(_ *runtime.Host, node int) { rejoined = append(rejoined, node) }
+		host, err := runtime.NewHost(newSimEnv(t, n, seed), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := host.Run(duration); err != nil {
+			t.Fatal(err)
+		}
+		res := result{
+			rejoined:  rejoined,
+			sent:      host.MessagesSent(),
+			delivered: host.MessagesDelivered(),
+			audits:    len(host.AuditViolations()),
+		}
+		for i := 0; i < n; i++ {
+			res.tokens = append(res.tokens, host.Node(i).Tokens())
+			res.stats = append(res.stats, host.Node(i).Stats())
+			res.online = append(res.online, host.Online(i))
+		}
+		return res
+	}
+
+	seq, par := build(1), build(8)
+	if seq.sent != par.sent || seq.delivered != par.delivered {
+		t.Errorf("message counters differ: sequential (%d,%d) vs parallel (%d,%d)",
+			seq.sent, seq.delivered, par.sent, par.delivered)
+	}
+	if seq.audits != par.audits {
+		t.Errorf("audit violations differ: %d vs %d", seq.audits, par.audits)
+	}
+	if len(seq.rejoined) != len(par.rejoined) {
+		t.Errorf("rejoin counts differ: %v vs %v", seq.rejoined, par.rejoined)
+	} else {
+		for i := range seq.rejoined {
+			if seq.rejoined[i] != par.rejoined[i] {
+				t.Errorf("rejoin %d differs: node %d vs %d", i, seq.rejoined[i], par.rejoined[i])
+				break
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if seq.tokens[i] != par.tokens[i] || seq.stats[i] != par.stats[i] || seq.online[i] != par.online[i] {
+			t.Errorf("node %d diverged: tokens %d/%d, online %v/%v, stats %+v vs %+v",
+				i, seq.tokens[i], par.tokens[i], seq.online[i], par.online[i], seq.stats[i], par.stats[i])
+			break
+		}
+	}
+}

@@ -219,14 +219,40 @@ func (q *calendarQueue) Pop() event {
 
 // resize rebuilds the ring with n buckets and a freshly estimated width,
 // redistributing the queued slab indices (events themselves never move).
-// Resizing allocates; it happens O(log n) times on the way to the high-water
-// mark and then never again in steady state.
+// Every bucket's index array is carved out of one shared backing slab,
+// CSR-style, with per-bucket capacity at least the power of two covering its
+// occupancy — no less headroom than growing each array by append would have
+// left — so a resize costs O(1) allocations instead of one per bucket, and
+// the post-resize tail of lazy one-bucket growths is no longer than under
+// per-bucket allocation. A bucket that later outgrows its slice quietly
+// appends into a private array. Resizing happens O(log n) times on the way
+// to the high-water mark and then never again in steady state.
 func (q *calendarQueue) resize(n int) {
 	old := q.buckets
 	q.width = q.estimateWidth(old)
 	q.invWidth = 1 / q.width
 	q.buckets = make([]calBucket, n)
 	q.mask = int64(n - 1)
+	// First pass: count the occupancy of every new bucket under the new
+	// width, then lay the buckets out back to back with pow2 headroom.
+	occ := make([]int32, n)
+	for oi := range old {
+		b := &old[oi]
+		for _, idx := range b.idx[b.head:] {
+			occ[int(q.day(q.slab[idx].time)&q.mask)]++
+		}
+	}
+	total := 0
+	for _, c := range occ {
+		total += calBucketCap(c)
+	}
+	backing := make([]int32, total)
+	pos := 0
+	for i := range q.buckets {
+		c := calBucketCap(occ[i])
+		q.buckets[i].idx = backing[pos : pos : pos+c]
+		pos += c
+	}
 	q.count = 0
 	for oi := range old {
 		b := &old[oi]
@@ -240,6 +266,17 @@ func (q *calendarQueue) resize(n int) {
 		}
 	}
 	q.cacheOK = false
+}
+
+// calBucketCap is the backing capacity a bucket with the given occupancy
+// receives at a resize: the power of two covering it, floored at 4 so even
+// buckets empty at resize time absorb a few pushes before going private.
+func calBucketCap(occ int32) int {
+	c := 4
+	for c < int(occ) {
+		c *= 2
+	}
+	return c
 }
 
 // estimateWidth derives the bucket width from the gaps between a sample of

@@ -148,6 +148,21 @@ func (se *ShardedEngine) ShardEvery(s int, phase, interval float64, fn func() bo
 	se.engines[s].Every(phase, interval, fn)
 }
 
+// AtDelivery schedules a typed delivery event on the coordinator queue at
+// absolute time t (see Engine.ScheduleDeliveryAt): like At, it executes
+// single-threaded at a window barrier, but the event payload is stored
+// inline instead of in a closure.
+func (se *ShardedEngine) AtDelivery(t float64, d Delivery, sink DeliverySink) {
+	se.coord.ScheduleDeliveryAt(t, d, sink)
+}
+
+// ShardAtDelivery schedules a typed delivery event on shard s's queue at
+// absolute shard-local time t. The sink runs on the shard's goroutine and
+// must only touch state owned by that shard.
+func (se *ShardedEngine) ShardAtDelivery(s int, t float64, d Delivery, sink DeliverySink) {
+	se.engines[s].ScheduleDeliveryAt(t, d, sink)
+}
+
 // Send schedules the delivery d after the given delay, routed by the shards
 // of its endpoints: an intra-shard delivery goes straight into the owning
 // shard's queue (the same zero-allocation path as Engine.ScheduleDelivery),

@@ -39,11 +39,14 @@ type Env struct {
 	transferDelay float64
 	online        []bool
 	deliver       runtime.DeliverFunc
+	hooks         hookRegistry
 }
 
 var (
 	_ runtime.Env           = (*Env)(nil)
 	_ runtime.DelayedSender = (*Env)(nil)
+	_ runtime.HookScheduler = (*Env)(nil)
+	_ runtime.StreamSeeder  = (*Env)(nil)
 	_ sim.DeliverySink      = (*Env)(nil)
 )
 
@@ -86,6 +89,18 @@ func (e *Env) Every(phase, interval float64, fn func() bool) { e.engine.Every(ph
 // Rand implements runtime.Env: stream s is a SplitMix64 generator seeded
 // with rng.Derive(seed, s).
 func (e *Env) Rand(stream uint64) protocol.Rand { return rng.New(rng.Derive(e.seed, stream)) }
+
+// StreamSeed implements runtime.StreamSeeder: a SplitMix64 generator seeded
+// with the returned value yields exactly the Rand(stream) sequence, letting
+// the Host keep per-node generator state in one slab.
+func (e *Env) StreamSeed(stream uint64) uint64 { return rng.Derive(e.seed, stream) }
+
+// AtHook implements runtime.HookScheduler: the hook event is stored inline
+// in the engine queue as a typed delivery, scheduled with the exact clamping
+// and sequence numbering of At.
+func (e *Env) AtHook(t float64, hook runtime.Hook, node int32, word uint64) {
+	e.engine.ScheduleDeliveryAt(t, sim.Delivery{To: node, Word: word}, e.hooks.adapterFor(hook))
+}
 
 // Send implements runtime.Env: the payload is delivered after the transfer
 // delay of virtual time. The message travels as a typed delivery event

@@ -1,0 +1,39 @@
+package simnet
+
+import (
+	"github.com/szte-dcs/tokenaccount/runtime"
+	"github.com/szte-dcs/tokenaccount/sim"
+)
+
+// hookAdapter bridges one runtime.Hook to the engine's typed delivery
+// events: a hook event is an ordinary Delivery whose To/Word carry the hook
+// arguments and whose sink is the adapter, so scheduling one goes through
+// the same queue slot — and the same (time, seq) ordering — as At would,
+// with no closure.
+type hookAdapter struct {
+	hook runtime.Hook
+}
+
+var _ sim.DeliverySink = (*hookAdapter)(nil)
+
+func (a *hookAdapter) Deliver(d sim.Delivery) { a.hook.RunHook(d.To, d.Word) }
+
+// hookRegistry caches one adapter per registered hook so rescheduling a hook
+// from its own callback allocates nothing. Registration (the first AtHook
+// call for a hook) must happen during assembly or from coordinator context;
+// lookups of already-registered hooks are read-only and therefore safe from
+// shard workers mid-window, when coordinator events cannot run.
+type hookRegistry struct {
+	adapters []*hookAdapter
+}
+
+func (r *hookRegistry) adapterFor(h runtime.Hook) *hookAdapter {
+	for _, a := range r.adapters {
+		if a.hook == h {
+			return a
+		}
+	}
+	a := &hookAdapter{hook: h}
+	r.adapters = append(r.adapters, a)
+	return a
+}

@@ -1,0 +1,11 @@
+//go:build !race
+
+package simnet
+
+// raceEnabled reports whether the race detector is compiled in. The scale
+// tests consult it: their allocation and footprint assertions measure the
+// plain runtime (the race runtime allocates shadow state on its own), and
+// a 10^6–10^7-node build under the detector costs minutes and tens of GiB
+// for no additional coverage — the concurrency they exercise is soaked
+// separately at small scale.
+const raceEnabled = false

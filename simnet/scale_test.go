@@ -1,0 +1,162 @@
+package simnet
+
+import (
+	stdruntime "runtime"
+	"testing"
+
+	"github.com/szte-dcs/tokenaccount/apps/gossiplearning"
+	"github.com/szte-dcs/tokenaccount/core"
+	"github.com/szte-dcs/tokenaccount/netmodel"
+	"github.com/szte-dcs/tokenaccount/overlay"
+	"github.com/szte-dcs/tokenaccount/protocol"
+	hostrt "github.com/szte-dcs/tokenaccount/runtime"
+	"github.com/szte-dcs/tokenaccount/sim"
+)
+
+// heapAlloc returns the live-heap size after a full collection — the
+// number the scale assertions below bound.
+func heapAlloc() uint64 {
+	stdruntime.GC()
+	var ms stdruntime.MemStats
+	stdruntime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// TestMillionNodeSmoke is the CI scale smoke: it assembles a full
+// 10^6-node network — overlay, environment, host slabs, parallel build —
+// runs it for a few proactive periods, and asserts the two properties the
+// struct-of-arrays refactor exists for: a warmed-up period advances the
+// simulation without touching the allocator at all, and the whole run fits
+// in a bounded heap. It runs in -short mode on purpose; wall clock is a few
+// seconds.
+func TestMillionNodeSmoke(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation and footprint assertions measure the plain runtime; see race_off_test.go")
+	}
+	const (
+		n     = 1_000_000
+		delta = 172.8
+	)
+	g, err := overlay.RandomKOut(n, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnv(EnvConfig{N: n, Seed: 1, TransferDelay: 1.728})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	walkers := make([]gossiplearning.Walker, n)
+	strategy := core.Strategy(core.MustRandomized(5, 10))
+	host, err := hostrt.NewHost(env, hostrt.Config{
+		Graph:        g,
+		Strategy:     func(int) core.Strategy { return strategy },
+		NewApp:       func(i int) protocol.Application { return &walkers[i] },
+		Delta:        delta,
+		BuildWorkers: stdruntime.GOMAXPROCS(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two periods warm the event queue to its high-water mark; the third is
+	// the measured window. With zero initial tokens the horizon stays below
+	// the randomized strategy's spending threshold, so the window is pure
+	// tick-and-queue traffic — exactly one event per node per period, the
+	// most deterministic load there is — and the queue, the scheduler and
+	// the per-node tick path must stay exactly off the allocator. (The full
+	// send → deliver → receive path is pinned allocation-free at small scale
+	// by TestSteadyStateMessagePathAllocs.)
+	horizon := 2 * delta
+	if err := host.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	var before, after stdruntime.MemStats
+	stdruntime.ReadMemStats(&before)
+	horizon += delta
+	if err := host.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	stdruntime.ReadMemStats(&after)
+	if allocs := after.Mallocs - before.Mallocs; allocs != 0 {
+		t.Errorf("warmed-up 10^6-node period allocated %d objects, want 0", allocs)
+	}
+
+	// The full standing network — 20-out CSR overlay, node/state/RNG slabs,
+	// walker slab, pending events — measured live; the bound is ~3× the
+	// expected footprint so real regressions (per-node objects creeping
+	// back) fail long before the container hurts.
+	const heapBound = 2 << 30
+	heap := heapAlloc()
+	if heap > heapBound {
+		t.Errorf("10^6-node run holds %d bytes of live heap, want ≤ %d", heap, heapBound)
+	}
+	t.Logf("10^6-node run: live heap %.2f GiB", float64(heap)/(1<<30))
+	if host.OnlineCount() != n {
+		t.Errorf("OnlineCount = %d, want %d", host.OnlineCount(), n)
+	}
+}
+
+// TestTenMillionNodeShardedRun demonstrates the tentpole target: one
+// sharded run at 10^7 nodes — parallel overlay generation, parallel slab
+// build, conservative-window execution — completing within the reference
+// container's memory. Skipped in -short mode (it costs a couple of minutes
+// and several GiB); the measured peak feeds the README scale table.
+func TestTenMillionNodeShardedRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10^7-node run takes minutes and several GiB; run without -short")
+	}
+	if raceEnabled {
+		t.Skip("too slow and too large under the race detector; see race_off_test.go")
+	}
+	const (
+		n      = 10_000_000
+		delta  = 172.8
+		shards = 2
+	)
+	g, err := overlay.RandomKOutParallel(n, 20, 1, stdruntime.GOMAXPROCS(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := netmodel.Zones{K: 8, Intra: 0.5, Inter: 3}
+	shardOf, lookahead, err := netmodel.PlanShards(model, 1.728, n, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewShardedEnv(ShardedEnvConfig{
+		N: n, Seed: 1, TransferDelay: 1.728, Queue: sim.QueueCalendar,
+		Shards: shards, ShardOf: shardOf, Lookahead: lookahead,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	walkers := make([]gossiplearning.Walker, n)
+	strategy := core.Strategy(core.MustRandomized(5, 10))
+	host, err := hostrt.NewHost(env, hostrt.Config{
+		Graph:        g,
+		Strategy:     func(int) core.Strategy { return strategy },
+		NewApp:       func(i int) protocol.Application { return &walkers[i] },
+		Delta:        delta,
+		Network:      model,
+		BuildWorkers: stdruntime.GOMAXPROCS(0),
+		// Seed the accounts at the randomized strategy's spending threshold
+		// A so cross-shard traffic flows from the first period instead of
+		// after ~A banking rounds.
+		InitialTokens: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := host.Run(3 * delta); err != nil {
+		t.Fatal(err)
+	}
+	if host.OnlineCount() != n {
+		t.Errorf("OnlineCount = %d, want %d", host.OnlineCount(), n)
+	}
+	if stats := host.TotalStats(); stats.Rounds == 0 || stats.Received == 0 {
+		t.Errorf("run advanced no rounds or delivered nothing: %+v", stats)
+	}
+	t.Logf("10^7-node sharded run: %d events, live heap after three periods: %.2f GiB",
+		env.Processed(), float64(heapAlloc())/(1<<30))
+}

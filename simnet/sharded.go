@@ -53,12 +53,15 @@ type ShardedEnv struct {
 	online        []bool
 	deliver       runtime.DeliverFunc
 	facades       []shardFacade
+	hooks         hookRegistry
 }
 
 var (
 	_ runtime.Env           = (*ShardedEnv)(nil)
 	_ runtime.DelayedSender = (*ShardedEnv)(nil)
 	_ runtime.Sharded       = (*ShardedEnv)(nil)
+	_ runtime.HookScheduler = (*ShardedEnv)(nil)
+	_ runtime.StreamSeeder  = (*ShardedEnv)(nil)
 	_ sim.DeliverySink      = (*ShardedEnv)(nil)
 )
 
@@ -94,7 +97,7 @@ func NewShardedEnv(cfg ShardedEnvConfig) (*ShardedEnv, error) {
 		facades:       make([]shardFacade, cfg.Shards),
 	}
 	for s := range e.facades {
-		e.facades[s] = shardFacade{engine: engine, shard: s}
+		e.facades[s] = shardFacade{env: e, engine: engine, shard: s}
 	}
 	engine.SetSink(e)
 	return e, nil
@@ -121,6 +124,15 @@ func (e *ShardedEnv) Every(phase, interval float64, fn func() bool) {
 // plain environment, so per-node and phase randomness are identical for
 // every shard count.
 func (e *ShardedEnv) Rand(stream uint64) protocol.Rand { return rng.New(rng.Derive(e.seed, stream)) }
+
+// StreamSeed implements runtime.StreamSeeder (see Env.StreamSeed).
+func (e *ShardedEnv) StreamSeed(stream uint64) uint64 { return rng.Derive(e.seed, stream) }
+
+// AtHook implements runtime.HookScheduler on the coordinator queue: the hook
+// event executes at a window barrier, like every coordinator event.
+func (e *ShardedEnv) AtHook(t float64, hook runtime.Hook, node int32, word uint64) {
+	e.engine.AtDelivery(t, sim.Delivery{To: node, Word: word}, e.hooks.adapterFor(hook))
+}
 
 // Send implements runtime.Env: the payload is delivered after the fixed
 // transfer delay (see SendDelayed).
@@ -210,11 +222,15 @@ func (e *ShardedEnv) Close() error {
 
 // shardFacade adapts one shard of the engine to runtime.ShardScheduler.
 type shardFacade struct {
+	env    *ShardedEnv
 	engine *sim.ShardedEngine
 	shard  int
 }
 
-var _ runtime.ShardScheduler = (*shardFacade)(nil)
+var (
+	_ runtime.ShardScheduler = (*shardFacade)(nil)
+	_ runtime.HookScheduler  = (*shardFacade)(nil)
+)
 
 func (f *shardFacade) Now() float64 { return f.engine.ShardNow(f.shard) }
 
@@ -224,4 +240,12 @@ func (f *shardFacade) Schedule(delay float64, fn func()) {
 
 func (f *shardFacade) Every(phase, interval float64, fn func() bool) {
 	f.engine.ShardEvery(f.shard, phase, interval, fn)
+}
+
+// AtHook implements runtime.HookScheduler on the shard's own queue: the hook
+// runs on the shard worker at shard-local time t. The adapter registry is
+// shared with the coordinator, so a hook registered at assembly reschedules
+// from any shard without allocation.
+func (f *shardFacade) AtHook(t float64, hook runtime.Hook, node int32, word uint64) {
+	f.engine.ShardAtDelivery(f.shard, t, sim.Delivery{To: node, Word: word}, f.env.hooks.adapterFor(hook))
 }
