@@ -1,0 +1,306 @@
+// Command tokennode runs one token account node as a long-lived daemon: the
+// deployable unit of the live stack. Each process hosts one protocol node
+// behind a managed TCP endpoint (live.Daemon) plus an HTTP ops endpoint with
+// Prometheus-text metrics, a health probe, an update injector and a graceful
+// drain hook.
+//
+// A three-node localhost cluster:
+//
+//	tokennode -id 0 -listen 127.0.0.1:7000 -http 127.0.0.1:8000 -peers 1=127.0.0.1:7001,2=127.0.0.1:7002 -cluster-size 3
+//	tokennode -id 1 -listen 127.0.0.1:7001 -http 127.0.0.1:8001 -peers 0=127.0.0.1:7000,2=127.0.0.1:7002 -cluster-size 3
+//	tokennode -id 2 -listen 127.0.0.1:7002 -http 127.0.0.1:8002 -peers 0=127.0.0.1:7000,1=127.0.0.1:7001 -cluster-size 3
+//
+// Applications and strategies come from the experiment registries, so the
+// same specs the simulator accepts ("push-gossip", "randomized:8:40", ...)
+// describe a deployment.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/szte-dcs/tokenaccount/experiment"
+	"github.com/szte-dcs/tokenaccount/live"
+	"github.com/szte-dcs/tokenaccount/protocol"
+)
+
+// nodeOptions collects every tunable of one daemon process. JSON tags double
+// as the config-file schema (-config).
+type nodeOptions struct {
+	ID          int64  `json:"id"`
+	Listen      string `json:"listen"`
+	HTTP        string `json:"http"`
+	Peers       string `json:"peers"`
+	App         string `json:"app"`
+	Strategy    string `json:"strategy"`
+	ClusterSize int    `json:"cluster_size"`
+	Delta       string `json:"delta"`
+	Tokens      int    `json:"tokens"`
+	Seed        uint64 `json:"seed"`
+	Queue       int    `json:"queue"`
+	OverlayK    int    `json:"overlay_k"`
+}
+
+func defaultOptions() nodeOptions {
+	return nodeOptions{
+		Listen:   "127.0.0.1:0",
+		HTTP:     "",
+		App:      "push-gossip",
+		Strategy: "randomized:8:40",
+		Delta:    "1s",
+	}
+}
+
+func defineFlags(fs *flag.FlagSet, o *nodeOptions) *string {
+	configPath := fs.String("config", "", "JSON config file; explicit flags override its values")
+	fs.Int64Var(&o.ID, "id", o.ID, "node identity (unique per deployment)")
+	fs.StringVar(&o.Listen, "listen", o.Listen, "TCP listen address for the protocol")
+	fs.StringVar(&o.HTTP, "http", o.HTTP, "HTTP ops listen address (empty disables the ops endpoint)")
+	fs.StringVar(&o.Peers, "peers", o.Peers, "seed peers as comma-separated id=host:port entries")
+	fs.StringVar(&o.App, "app", o.App, "application spec (experiment registry, e.g. push-gossip)")
+	fs.StringVar(&o.Strategy, "strategy", o.Strategy, "strategy spec (experiment registry, e.g. randomized:8:40)")
+	fs.IntVar(&o.ClusterSize, "cluster-size", o.ClusterSize, "total nodes in the deployment (default: peers+1)")
+	fs.StringVar(&o.Delta, "delta", o.Delta, "proactive period Δ (Go duration)")
+	fs.IntVar(&o.Tokens, "tokens", o.Tokens, "initial token balance")
+	fs.Uint64Var(&o.Seed, "seed", o.Seed, "random seed (0 derives a process-unique seed)")
+	fs.IntVar(&o.Queue, "queue", o.Queue, "incoming message queue bound (0 = default)")
+	fs.IntVar(&o.OverlayK, "overlay-k", o.OverlayK, "overlay out-degree for app construction (0 = min(default, cluster-1))")
+	return configPath
+}
+
+// loadConfigFile overlays o with the values of a JSON config file, keeping
+// every field named in set (explicit flags win over the file).
+func loadConfigFile(path string, o *nodeOptions, set map[string]bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	fromFile := *o
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&fromFile); err != nil {
+		return fmt.Errorf("config %s: %w", path, err)
+	}
+	keep := *o
+	*o = fromFile
+	if set["id"] {
+		o.ID = keep.ID
+	}
+	if set["listen"] {
+		o.Listen = keep.Listen
+	}
+	if set["http"] {
+		o.HTTP = keep.HTTP
+	}
+	if set["peers"] {
+		o.Peers = keep.Peers
+	}
+	if set["app"] {
+		o.App = keep.App
+	}
+	if set["strategy"] {
+		o.Strategy = keep.Strategy
+	}
+	if set["cluster-size"] {
+		o.ClusterSize = keep.ClusterSize
+	}
+	if set["delta"] {
+		o.Delta = keep.Delta
+	}
+	if set["tokens"] {
+		o.Tokens = keep.Tokens
+	}
+	if set["seed"] {
+		o.Seed = keep.Seed
+	}
+	if set["queue"] {
+		o.Queue = keep.Queue
+	}
+	if set["overlay-k"] {
+		o.OverlayK = keep.OverlayK
+	}
+	return nil
+}
+
+// parsePeers parses "1=127.0.0.1:7001,2=host:7002" into peer addresses.
+func parsePeers(s string) ([]live.PeerAddr, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var peers []live.PeerAddr
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("peer entry %q: want id=host:port", entry)
+		}
+		n, err := strconv.ParseInt(strings.TrimSpace(id), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("peer entry %q: bad id: %v", entry, err)
+		}
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			return nil, fmt.Errorf("peer entry %q: empty address", entry)
+		}
+		peers = append(peers, live.PeerAddr{ID: protocol.NodeID(n), Addr: addr})
+	}
+	return peers, nil
+}
+
+// buildApplication resolves an application spec through the experiment
+// registry and instantiates this node's application. The driver's run is
+// built over the whole cluster (NewApp's contract is one call per node in
+// node order), and the instance of the daemon's own slot is kept.
+func buildApplication(spec string, clusterSize int, node int64, seed uint64, overlayK int) (protocol.Application, error) {
+	driver, err := experiment.ParseApplication(spec)
+	if err != nil {
+		return nil, err
+	}
+	if node < 0 || node >= int64(clusterSize) {
+		return nil, fmt.Errorf("node id %d outside the cluster [0, %d)", node, clusterSize)
+	}
+	if overlayK == 0 {
+		overlayK = experiment.DefaultOverlayK
+		if max := clusterSize - 1; overlayK > max {
+			overlayK = max
+		}
+	}
+	cfg := experiment.Config{App: driver, N: clusterSize, OverlayK: overlayK}.WithDefaults()
+	graph, err := driver.BuildOverlay(cfg, seed)
+	if err != nil {
+		return nil, fmt.Errorf("application %s: overlay: %w", spec, err)
+	}
+	run, err := driver.NewRun(cfg, graph)
+	if err != nil {
+		return nil, fmt.Errorf("application %s: %w", spec, err)
+	}
+	var own protocol.Application
+	for i := 0; i < clusterSize; i++ {
+		app := run.NewApp(i)
+		if int64(i) == node {
+			own = app
+		}
+	}
+	if own == nil {
+		return nil, fmt.Errorf("application %s: NewApp(%d) returned nil", spec, node)
+	}
+	return own, nil
+}
+
+// buildDaemon assembles the live daemon from the resolved options.
+func buildDaemon(o nodeOptions) (*live.Daemon, error) {
+	peers, err := parsePeers(o.Peers)
+	if err != nil {
+		return nil, err
+	}
+	clusterSize := o.ClusterSize
+	if clusterSize == 0 {
+		clusterSize = len(peers) + 1
+	}
+	delta, err := time.ParseDuration(o.Delta)
+	if err != nil {
+		return nil, fmt.Errorf("delta %q: %w", o.Delta, err)
+	}
+	spec, err := experiment.ParseStrategySpec(o.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	strategy, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	app, err := buildApplication(o.App, clusterSize, o.ID, o.Seed, o.OverlayK)
+	if err != nil {
+		return nil, err
+	}
+	return live.NewDaemon(live.DaemonConfig{
+		ID:            protocol.NodeID(o.ID),
+		Listen:        o.Listen,
+		Seeds:         peers,
+		Strategy:      strategy,
+		Application:   app,
+		Delta:         delta,
+		InitialTokens: o.Tokens,
+		Seed:          o.Seed,
+		QueueSize:     o.Queue,
+	})
+}
+
+// run is main without os.Exit, for tests.
+func run(args []string, stdout, stderr io.Writer) error {
+	o := defaultOptions()
+	fs := flag.NewFlagSet("tokennode", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	configPath := defineFlags(fs, &o)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *configPath != "" {
+		set := make(map[string]bool)
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if err := loadConfigFile(*configPath, &o, set); err != nil {
+			return err
+		}
+	}
+	d, err := buildDaemon(o)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var httpLn net.Listener
+	if o.HTTP != "" {
+		httpLn, err = net.Listen("tcp", o.HTTP)
+		if err != nil {
+			return fmt.Errorf("http listen %s: %w", o.HTTP, err)
+		}
+	}
+	d.Start(ctx)
+	fmt.Fprintf(stdout, "tokennode id=%d listen=%s", o.ID, d.Endpoint().Addr())
+	var httpSrv *http.Server
+	if httpLn != nil {
+		httpSrv = &http.Server{Handler: newOpsMux(d, stop)}
+		go func() { _ = httpSrv.Serve(httpLn) }()
+		fmt.Fprintf(stdout, " http=%s", httpLn.Addr())
+	}
+	fmt.Fprintln(stdout)
+
+	<-ctx.Done()
+	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	d.Drain(drainCtx)
+	if httpSrv != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutCtx)
+	}
+	fmt.Fprintf(stdout, "tokennode id=%d stopped tokens=%d\n", o.ID, d.Service().Tokens())
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "tokennode:", err)
+		}
+		os.Exit(1)
+	}
+}

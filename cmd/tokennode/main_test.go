@@ -1,0 +1,191 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers(" 1=127.0.0.1:7001, 2=host:7002 ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[0].ID != 1 || peers[0].Addr != "127.0.0.1:7001" || peers[1].ID != 2 || peers[1].Addr != "host:7002" {
+		t.Errorf("parsePeers = %+v", peers)
+	}
+	if p, err := parsePeers(""); err != nil || p != nil {
+		t.Errorf("empty peers = (%v, %v)", p, err)
+	}
+	for _, bad := range []string{"1", "x=host:1", "1=", "=host:1"} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Errorf("parsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLoadConfigFileOverride(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.json")
+	if err := os.WriteFile(path, []byte(`{"id": 7, "delta": "250ms", "strategy": "simple:10"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := defaultOptions()
+	o.ID = 3 // explicitly set on the command line
+	if err := loadConfigFile(path, &o, map[string]bool{"id": true}); err != nil {
+		t.Fatal(err)
+	}
+	if o.ID != 3 {
+		t.Errorf("explicit flag lost to config: id = %d", o.ID)
+	}
+	if o.Delta != "250ms" || o.Strategy != "simple:10" {
+		t.Errorf("config values not applied: delta=%q strategy=%q", o.Delta, o.Strategy)
+	}
+	if o.App != "push-gossip" {
+		t.Errorf("default lost: app = %q", o.App)
+	}
+	if err := loadConfigFile(path+".missing", &o, nil); err == nil {
+		t.Error("missing config file accepted")
+	}
+	if err := os.WriteFile(path, []byte(`{"nope": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := loadConfigFile(path, &o, nil); err == nil {
+		t.Error("unknown config key accepted")
+	}
+}
+
+func TestBuildApplication(t *testing.T) {
+	app, err := buildApplication("push-gossip", 4, 2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app == nil {
+		t.Fatal("nil application")
+	}
+	if _, err := buildApplication("no-such-app", 4, 0, 1, 0); err == nil {
+		t.Error("unknown application accepted")
+	}
+	if _, err := buildApplication("push-gossip", 4, 9, 1, 0); err == nil {
+		t.Error("node id outside cluster accepted")
+	}
+}
+
+func TestBuildDaemonErrors(t *testing.T) {
+	o := defaultOptions()
+	o.Delta = "not-a-duration"
+	if _, err := buildDaemon(o); err == nil {
+		t.Error("bad delta accepted")
+	}
+	o = defaultOptions()
+	o.Strategy = "no-such-strategy"
+	if _, err := buildDaemon(o); err == nil {
+		t.Error("bad strategy accepted")
+	}
+	o = defaultOptions()
+	o.Peers = "nonsense"
+	if _, err := buildDaemon(o); err == nil {
+		t.Error("bad peers accepted")
+	}
+}
+
+// TestOpsEndpoint drives the HTTP surface of a single running daemon:
+// /healthz flips with the lifecycle, /inject feeds the application, /metrics
+// exposes the protocol, transport and latency series, /drain stops the node.
+func TestOpsEndpoint(t *testing.T) {
+	o := defaultOptions()
+	o.ID = 0
+	o.ClusterSize = 2
+	o.Delta = "20ms"
+	o.Seed = 1
+	d, err := buildDaemon(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	stopped := make(chan struct{})
+	srv := httptest.NewServer(newOpsMux(d, func() { close(stopped) }))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	post := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "starting") {
+		t.Errorf("healthz before Start = (%d, %q), want 503 starting", code, body)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	d.Start(ctx)
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "serving") {
+		t.Errorf("healthz while serving = (%d, %q), want 200 serving", code, body)
+	}
+
+	if code, _ := post("/inject?seq=5"); code != http.StatusOK {
+		t.Errorf("inject = %d, want 200", code)
+	}
+	if code, _ := post("/inject?seq=bad"); code != http.StatusBadRequest {
+		t.Errorf("bad inject = %d, want 400", code)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for d.TickCount() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	_, metricsBody := get("/metrics")
+	for _, want := range []string{
+		"tokennode_tokens ",
+		"tokennode_rounds_total ",
+		`tokennode_sends_total{kind="proactive"}`,
+		`tokennode_sends_total{kind="reactive"}`,
+		"tokennode_dropped_incoming_total ",
+		"tokennode_queue_depth ",
+		"tokennode_app_seq 5",
+		`tokennode_health{state="serving"} 1`,
+		`tokennode_tick_latency_seconds{quantile="0.5"}`,
+		"tokennode_tick_latency_seconds_count ",
+		"tokennode_transport_bytes_sent_total ",
+		"tokennode_transport_sends_shed_total ",
+		"tokennode_transport_decode_errors_total ",
+		"tokennode_transport_queue_depth ",
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+
+	if code, _ := post("/drain"); code != http.StatusAccepted {
+		t.Errorf("drain = %d, want 202", code)
+	}
+	select {
+	case <-stopped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain did not invoke the stop hook")
+	}
+	if code, body := get("/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "stopped") {
+		t.Errorf("healthz after drain = (%d, %q), want 503 stopped", code, body)
+	}
+}

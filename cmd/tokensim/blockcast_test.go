@@ -95,7 +95,7 @@ func TestListFlag(t *testing.T) {
 		"applications: blockcast, chaotic-iteration, gossip-learning, push-gossip",
 		"scenarios: ",
 		"strategies: generalized, proactive, randomized, reactive, simple",
-		"runtimes: live, sim",
+		"runtimes: live, live-tcp, sim",
 		"networks: ",
 		"workloads: ",
 	} {

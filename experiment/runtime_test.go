@@ -41,8 +41,8 @@ func TestParseRuntime(t *testing.T) {
 		}
 	}
 	names := experiment.Runtimes()
-	if len(names) < 2 || names[0] != "live" || names[1] != "sim" {
-		t.Errorf("Runtimes() = %v, want at least [live sim]", names)
+	if len(names) < 3 || names[0] != "live" || names[1] != "live-tcp" || names[2] != "sim" {
+		t.Errorf("Runtimes() = %v, want at least [live live-tcp sim]", names)
 	}
 }
 

@@ -30,6 +30,13 @@ var (
 	// default time compression of DefaultLiveTimeScale. It turns the same
 	// experiment spec into a scaled-down deployment rehearsal.
 	LiveRuntime RuntimeDriver = liveRuntime{}
+	// LiveTCPRuntime executes repetitions in real time over real TCP sockets:
+	// one managed endpoint per node on the loopback interface, fully meshed,
+	// with word-encoded payload frames on the wire. It is the cross-check
+	// runtime — the same experiment spec runs on sockets instead of the
+	// simulator's abstractions — and is bounded to modest node counts
+	// (every node holds a listening socket and N−1 peer registrations).
+	LiveTCPRuntime RuntimeDriver = liveTCPRuntime{}
 )
 
 // IsDefaultRuntime reports whether d is (an instance of) the default
@@ -57,6 +64,7 @@ const DefaultLiveTimeScale = 1e-4
 func init() {
 	MustRegisterRuntime("sim", simRuntimeFactory, "simnet", "virtual")
 	MustRegisterRuntime("live", liveRuntimeFactory, "real", "wall")
+	MustRegisterRuntime("live-tcp", liveTCPRuntimeFactory, "tcp")
 }
 
 // simRuntimeFactory parses "sim[:queue][:shards=N]" specs such as
@@ -219,4 +227,65 @@ func (l liveRuntime) NewEnv(cfg Config, seed uint64) (runtime.Env, error) {
 		TimeScale: l.scale(),
 		Latency:   latency,
 	})
+}
+
+// liveTCPRuntime is the socket-backed wall-clock RuntimeDriver. The zero
+// value uses the default time compression.
+type liveTCPRuntime struct {
+	// TimeScale is the wall-clock duration of one run-second; 0 selects
+	// DefaultLiveTimeScale.
+	TimeScale float64
+}
+
+// liveTCPRuntimeFactory parses "live-tcp[:timescale]" specs such as
+// "live-tcp:0.001".
+func liveTCPRuntimeFactory(args []string) (RuntimeDriver, error) {
+	r := liveTCPRuntime{}
+	if len(args) > 1 {
+		return nil, fmt.Errorf("experiment: unexpected trailing parameter(s) %v (want live-tcp[:timescale])", args[1:])
+	}
+	if len(args) == 1 {
+		scale, err := strconv.ParseFloat(args[0], 64)
+		if err != nil || scale <= 0 || math.IsInf(scale, 1) || math.IsNaN(scale) {
+			return nil, fmt.Errorf("experiment: bad live-tcp timescale %q (want a positive, finite number of wall-seconds per run-second)", args[0])
+		}
+		r.TimeScale = scale
+	}
+	return r, nil
+}
+
+func (liveTCPRuntime) Name() string { return "live-tcp" }
+
+// String renders the runtime with its effective time scale, so differently
+// compressed instances stay distinguishable in labels.
+func (l liveTCPRuntime) String() string {
+	if l.TimeScale == 0 {
+		return "live-tcp"
+	}
+	return fmt.Sprintf("live-tcp(x%g)", l.TimeScale)
+}
+
+func (l liveTCPRuntime) scale() float64 {
+	if l.TimeScale == 0 {
+		return DefaultLiveTimeScale
+	}
+	return l.TimeScale
+}
+
+func (l liveTCPRuntime) NewEnv(cfg Config, seed uint64) (runtime.Env, error) {
+	latency := cfg.TransferDelay
+	if m, err := networkModel(cfg); err != nil {
+		return nil, err
+	} else if m != nil {
+		// As with the memory bus: a network model owns the latency budget and
+		// realizes it through SendDelayed, so the environment must not add
+		// the constant transfer delay in front of the sockets.
+		latency = 0
+	}
+	return live.NewTCPEnv(live.EnvConfig{
+		N:         cfg.N,
+		Seed:      seed,
+		TimeScale: l.scale(),
+		Latency:   latency,
+	}, nil)
 }

@@ -1,0 +1,387 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/szte-dcs/tokenaccount/core"
+	"github.com/szte-dcs/tokenaccount/internal/rng"
+	"github.com/szte-dcs/tokenaccount/metrics"
+	"github.com/szte-dcs/tokenaccount/protocol"
+	"github.com/szte-dcs/tokenaccount/transport"
+)
+
+// Health is a daemon's lifecycle state, exposed on the tokennode /healthz
+// endpoint.
+type Health int
+
+const (
+	// HealthStarting means the daemon exists but Start has not completed.
+	HealthStarting Health = iota
+	// HealthServing means the node is ticking and accepting messages.
+	HealthServing
+	// HealthDraining means the daemon announced its leave and is flushing
+	// outbound queues before stopping.
+	HealthDraining
+	// HealthStopped means the service loop has exited.
+	HealthStopped
+)
+
+func (h Health) String() string {
+	switch h {
+	case HealthStarting:
+		return "starting"
+	case HealthServing:
+		return "serving"
+	case HealthDraining:
+		return "draining"
+	case HealthStopped:
+		return "stopped"
+	}
+	return fmt.Sprintf("health(%d)", int(h))
+}
+
+// PeerAddr names one peer of a daemon: protocol identity plus TCP address.
+type PeerAddr struct {
+	ID   protocol.NodeID
+	Addr string
+}
+
+// joinMsg announces a node to a peer. It doubles as the rejoin pull of
+// §4.1.2: the receiver adds the sender to its peer table and, if it has a
+// token, answers with its latest application message (RespondDirect).
+type joinMsg struct {
+	ID   int64  `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// leaveMsg announces a graceful departure: receivers drop the sender from
+// their peer tables so the sampler stops wasting sends on it.
+type leaveMsg struct {
+	ID int64 `json:"id"`
+}
+
+// RegisterControl registers the daemon's membership control payloads in a
+// transport registry. Every process of a tokennode deployment must share a
+// registry with these (NewDaemon applies it to its own registry
+// automatically; tests that speak to a daemon over a raw endpoint call it
+// explicitly).
+func RegisterControl(r *transport.Registry) {
+	transport.Register[joinMsg](r, "live.join")
+	transport.Register[leaveMsg](r, "live.leave")
+}
+
+// peerTable is the daemon's dynamic membership view. It implements
+// protocol.PeerSelector with a uniform draw over the current members, so the
+// protocol's SELECTPEER tracks join/leave without restarting the service.
+type peerTable struct {
+	mu    sync.Mutex
+	ids   []protocol.NodeID
+	index map[protocol.NodeID]int
+}
+
+func newPeerTable() *peerTable {
+	return &peerTable{index: make(map[protocol.NodeID]int)}
+}
+
+// add inserts a peer, reporting whether it was new.
+func (t *peerTable) add(id protocol.NodeID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.index[id]; ok {
+		return false
+	}
+	t.index[id] = len(t.ids)
+	t.ids = append(t.ids, id)
+	return true
+}
+
+// remove deletes a peer, reporting whether it was present.
+func (t *peerTable) remove(id protocol.NodeID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i, ok := t.index[id]
+	if !ok {
+		return false
+	}
+	last := len(t.ids) - 1
+	t.ids[i] = t.ids[last]
+	t.index[t.ids[i]] = i
+	t.ids = t.ids[:last]
+	delete(t.index, id)
+	return true
+}
+
+// list snapshots the current membership.
+func (t *peerTable) list() []protocol.NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]protocol.NodeID, len(t.ids))
+	copy(out, t.ids)
+	return out
+}
+
+func (t *peerTable) size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ids)
+}
+
+// SelectPeer implements protocol.PeerSelector: a uniform draw over the
+// current members.
+func (t *peerTable) SelectPeer(r protocol.Rand) (protocol.NodeID, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ids) == 0 {
+		return protocol.NoNode, false
+	}
+	return t.ids[r.Intn(len(t.ids))], true
+}
+
+// DaemonConfig assembles a tokennode daemon: one token account node behind a
+// managed TCP endpoint with membership, drain and an ops snapshot.
+type DaemonConfig struct {
+	// ID is the node's identity (must be unique in the deployment).
+	ID protocol.NodeID
+	// Listen is the TCP listen address (e.g. "127.0.0.1:7001", ":0").
+	Listen string
+	// Seeds are the statically known peers. The daemon's own entry, if
+	// present, is skipped, so every node of a fleet can share one peer list.
+	Seeds []PeerAddr
+	// Strategy is the token account strategy (required).
+	Strategy core.Strategy
+	// Application provides CreateMessage/UpdateState (required).
+	Application protocol.Application
+	// Delta is the proactive period (required).
+	Delta time.Duration
+	// InitialTokens is the starting balance (default 0).
+	InitialTokens int
+	// Seed pins the node's randomness; zero derives a process-unique seed
+	// (see Config.Seed).
+	Seed uint64
+	// QueueSize bounds the incoming queue (default 1024).
+	QueueSize int
+	// Registry carries the deployment's boxed payload types. Nil means a
+	// fresh registry; the control payloads are registered either way.
+	Registry *transport.Registry
+	// TransportOptions tune the managed TCP endpoint.
+	TransportOptions []transport.TCPOption
+}
+
+// Daemon is a deployable token account node: a Service over a managed TCP
+// endpoint, plus static-seed membership with join/leave announcements,
+// graceful drain and the health/latency state behind the tokennode ops
+// endpoint. Create it with NewDaemon, start it with Start, stop it with
+// Drain (graceful) or Close (immediate).
+type Daemon struct {
+	cfg   DaemonConfig
+	ep    *transport.TCPEndpoint
+	svc   *Service
+	peers *peerTable
+
+	mu      sync.Mutex
+	health  Health
+	rnd     protocol.Rand
+	tickLat *metrics.Quantile
+}
+
+// NewDaemon builds the endpoint, the service and the membership table. The
+// daemon does not tick or announce itself until Start.
+func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
+	if cfg.Listen == "" {
+		return nil, errors.New("live: DaemonConfig.Listen is empty")
+	}
+	registry := cfg.Registry
+	if registry == nil {
+		registry = transport.NewRegistry()
+	}
+	RegisterControl(registry)
+	ep, err := transport.NewTCPEndpoint(cfg.ID, cfg.Listen, registry, cfg.TransportOptions...)
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		cfg:     cfg,
+		ep:      ep,
+		peers:   newPeerTable(),
+		health:  HealthStarting,
+		rnd:     rng.New(rng.Derive(0x746f6b656e6e6f64, uint64(cfg.ID))), // "tokennod"
+		tickLat: metrics.NewQuantile(),
+	}
+	svc, err := New(Config{
+		ID:            cfg.ID,
+		Strategy:      cfg.Strategy,
+		Application:   cfg.Application,
+		Peers:         d.peers,
+		Transport:     ep,
+		Delta:         cfg.Delta,
+		InitialTokens: cfg.InitialTokens,
+		Seed:          cfg.Seed,
+		QueueSize:     cfg.QueueSize,
+		TickObserver:  d.observeTick,
+	})
+	if err != nil {
+		_ = ep.Close()
+		return nil, err
+	}
+	d.svc = svc
+	// The service installed itself as the endpoint's payload handler;
+	// interpose the membership filter in front of it.
+	ep.SetPayloadHandler(d.incoming)
+	for _, p := range cfg.Seeds {
+		if p.ID == cfg.ID {
+			continue
+		}
+		ep.AddPeer(p.ID, p.Addr)
+		d.peers.add(p.ID)
+	}
+	return d, nil
+}
+
+// incoming filters the membership control payloads out of the transport
+// stream; everything else flows to the service. It runs on transport read
+// goroutines.
+func (d *Daemon) incoming(from protocol.NodeID, p protocol.Payload) {
+	if p.Kind == protocol.KindBoxed {
+		switch m := p.Box.(type) {
+		case joinMsg:
+			d.handleJoin(m)
+			return
+		case leaveMsg:
+			d.handleLeave(protocol.NodeID(m.ID))
+			return
+		}
+	}
+	d.svc.Deliver(from, p)
+}
+
+// handleJoin admits a (re)joining peer and answers its pull: per §4.1.2 the
+// contacted neighbor sends back its latest update if it has a token to spend,
+// and stays silent otherwise.
+func (d *Daemon) handleJoin(m joinMsg) {
+	id := protocol.NodeID(m.ID)
+	if id == d.cfg.ID {
+		return
+	}
+	d.ep.AddPeer(id, m.Addr)
+	d.peers.add(id)
+	_ = d.svc.RespondDirect(id)
+}
+
+// handleLeave forgets a departing peer.
+func (d *Daemon) handleLeave(id protocol.NodeID) {
+	d.peers.remove(id)
+	d.ep.RemovePeer(id)
+}
+
+// observeTick feeds the tick-latency reservoir (Config.TickObserver).
+func (d *Daemon) observeTick(elapsed time.Duration) {
+	d.mu.Lock()
+	d.tickLat.Add(elapsed.Seconds())
+	d.mu.Unlock()
+}
+
+// Start launches the service loop and announces the node to its seed peers.
+// The context cancels the service loop like Service.Start.
+func (d *Daemon) Start(ctx context.Context) {
+	d.svc.Start(ctx)
+	d.announce()
+	d.setHealth(HealthServing)
+}
+
+// announce sends the join message to every known peer.
+func (d *Daemon) announce() {
+	msg := joinMsg{ID: int64(d.cfg.ID), Addr: d.ep.Addr()}
+	for _, id := range d.peers.list() {
+		_ = d.ep.Send(id, msg)
+	}
+}
+
+// Rejoin re-announces the node to one randomly chosen peer — the rejoin pull
+// of §4.1.2: a node returning from churn asks a single neighbor for the
+// latest state, and the neighbor's answer is token-gated on its side. Call it
+// after SetOnline(true) brings a drained-out node back.
+func (d *Daemon) Rejoin() {
+	d.mu.Lock()
+	target, ok := d.peers.SelectPeer(d.rnd)
+	d.mu.Unlock()
+	if !ok {
+		return
+	}
+	_ = d.ep.Send(target, joinMsg{ID: int64(d.cfg.ID), Addr: d.ep.Addr()})
+}
+
+// Drain gracefully stops the daemon: it announces its leave to every peer,
+// waits (bounded by the context) for the outbound queues to flush, then stops
+// the service loop. The endpoint stays open so late answers still arrive
+// until Close.
+func (d *Daemon) Drain(ctx context.Context) {
+	d.setHealth(HealthDraining)
+	msg := leaveMsg{ID: int64(d.cfg.ID)}
+	for _, id := range d.peers.list() {
+		_ = d.ep.Send(id, msg)
+	}
+	// Wait for the per-peer writers to flush the leave notices (and anything
+	// queued before them).
+	for ctx.Err() == nil && d.ep.Stats().QueueDepth > 0 {
+		select {
+		case <-ctx.Done():
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	d.svc.Stop()
+	<-d.svc.Done()
+	d.setHealth(HealthStopped)
+}
+
+// Close stops the service loop if it is still running and closes the
+// endpoint. For a graceful shutdown call Drain first.
+func (d *Daemon) Close() error {
+	d.svc.Stop()
+	<-d.svc.Done()
+	d.setHealth(HealthStopped)
+	return d.ep.Close()
+}
+
+func (d *Daemon) setHealth(h Health) {
+	d.mu.Lock()
+	d.health = h
+	d.mu.Unlock()
+}
+
+// Health returns the daemon's lifecycle state.
+func (d *Daemon) Health() Health {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.health
+}
+
+// TickLatencyQuantile returns the p-quantile of observed tick durations in
+// seconds (NaN before the first tick).
+func (d *Daemon) TickLatencyQuantile(p float64) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tickLat.Query(p)
+}
+
+// TickCount returns the number of ticks observed by the latency reservoir.
+func (d *Daemon) TickCount() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tickLat.N()
+}
+
+// Service returns the underlying live service (tokens, stats, inject).
+func (d *Daemon) Service() *Service { return d.svc }
+
+// Endpoint returns the managed TCP endpoint (address, transport stats).
+func (d *Daemon) Endpoint() *transport.TCPEndpoint { return d.ep }
+
+// NumPeers returns the current size of the membership table.
+func (d *Daemon) NumPeers() int { return d.peers.size() }
+
+// PeerIDs returns the current membership.
+func (d *Daemon) PeerIDs() []protocol.NodeID { return d.peers.list() }

@@ -1,0 +1,186 @@
+package live
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/szte-dcs/tokenaccount/apps/pushgossip"
+	"github.com/szte-dcs/tokenaccount/core"
+	"github.com/szte-dcs/tokenaccount/protocol"
+)
+
+func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func daemonConfig(id protocol.NodeID, seeds []PeerAddr) DaemonConfig {
+	return DaemonConfig{
+		ID:            id,
+		Listen:        "127.0.0.1:0",
+		Seeds:         seeds,
+		Strategy:      core.PurelyProactive{},
+		Application:   pushgossip.New(),
+		Delta:         10 * time.Millisecond,
+		InitialTokens: 5,
+		Seed:          uint64(id) + 1,
+	}
+}
+
+func daemonSeq(d *Daemon) int64 {
+	var seq int64
+	d.Service().WithApplication(func(app protocol.Application) {
+		seq = app.(*pushgossip.State).Seq()
+	})
+	return seq
+}
+
+// TestDaemonClusterConvergence boots a small fleet where each daemon only
+// seeds the previously started ones: join announcements must complete the
+// membership, push gossip must spread an injected update to every node, and a
+// drained daemon must disappear from the others' peer tables.
+func TestDaemonClusterConvergence(t *testing.T) {
+	const n = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	daemons := make([]*Daemon, 0, n)
+	var seeds []PeerAddr
+	for i := 0; i < n; i++ {
+		d, err := NewDaemon(daemonConfig(protocol.NodeID(i), seeds))
+		if err != nil {
+			t.Fatalf("daemon %d: %v", i, err)
+		}
+		defer d.Close()
+		if got := d.Health(); got != HealthStarting {
+			t.Fatalf("health before Start = %v, want starting", got)
+		}
+		daemons = append(daemons, d)
+		seeds = append(seeds, PeerAddr{ID: protocol.NodeID(i), Addr: d.Endpoint().Addr()})
+	}
+	for _, d := range daemons {
+		d.Start(ctx)
+		if got := d.Health(); got != HealthServing {
+			t.Fatalf("health after Start = %v, want serving", got)
+		}
+	}
+
+	// Joins flow only "new → old" as seeds, so the old nodes learn the new
+	// ones from the announcements.
+	waitUntil(t, 5*time.Second, "full membership", func() bool {
+		for _, d := range daemons {
+			if d.NumPeers() != n-1 {
+				return false
+			}
+		}
+		return true
+	})
+
+	daemons[0].Service().WithApplication(func(app protocol.Application) {
+		app.(*pushgossip.State).Inject(1)
+	})
+	waitUntil(t, 10*time.Second, "gossip convergence", func() bool {
+		for _, d := range daemons {
+			if daemonSeq(d) < 1 {
+				return false
+			}
+		}
+		return true
+	})
+
+	waitUntil(t, 5*time.Second, "tick latency samples", func() bool {
+		return daemons[0].TickCount() > 0
+	})
+	if q := daemons[0].TickLatencyQuantile(0.5); !(q >= 0) {
+		t.Errorf("median tick latency = %v, want a finite value ≥ 0", q)
+	}
+
+	// Graceful drain: the fleet forgets the departed node.
+	drainCtx, drainCancel := context.WithTimeout(ctx, 5*time.Second)
+	defer drainCancel()
+	daemons[n-1].Drain(drainCtx)
+	if got := daemons[n-1].Health(); got != HealthStopped {
+		t.Fatalf("health after Drain = %v, want stopped", got)
+	}
+	waitUntil(t, 5*time.Second, "leave to propagate", func() bool {
+		for _, d := range daemons[:n-1] {
+			if d.NumPeers() != n-2 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestDaemonRejoinPull pins the §4.1.2 rejoin semantics: a node coming back
+// from churn re-announces itself, and the contacted neighbor answers with its
+// latest update, token-gated. Δ is huge so nothing else moves.
+func TestDaemonRejoinPull(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	cfgA := daemonConfig(0, nil)
+	cfgA.Delta = time.Hour
+	a, err := NewDaemon(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	cfgB := daemonConfig(1, []PeerAddr{{ID: 0, Addr: a.Endpoint().Addr()}})
+	cfgB.Delta = time.Hour
+	b, err := NewDaemon(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	a.Start(ctx)
+	b.Start(ctx)
+	waitUntil(t, 5*time.Second, "A to learn B from its join", func() bool {
+		return a.NumPeers() == 1
+	})
+
+	// A moves ahead while B is offline (churn).
+	b.Service().SetOnline(false)
+	a.Service().WithApplication(func(app protocol.Application) {
+		app.(*pushgossip.State).Inject(7)
+	})
+
+	b.Service().SetOnline(true)
+	b.Rejoin()
+	waitUntil(t, 5*time.Second, "B to pull the latest update", func() bool {
+		return daemonSeq(b) == 7
+	})
+
+	// The answer was a reactive, token-gated send on A's side.
+	if st := a.Service().Stats(); st.ReactiveSent == 0 {
+		t.Error("rejoin answer did not count as a reactive send")
+	}
+}
+
+// TestDaemonValidation covers constructor failure paths.
+func TestDaemonValidation(t *testing.T) {
+	cfg := daemonConfig(0, nil)
+	cfg.Listen = ""
+	if _, err := NewDaemon(cfg); err == nil {
+		t.Error("empty listen address accepted")
+	}
+	cfg = daemonConfig(0, nil)
+	cfg.Strategy = nil
+	if _, err := NewDaemon(cfg); err == nil {
+		t.Error("nil strategy accepted")
+	}
+	cfg = daemonConfig(0, nil)
+	cfg.Listen = "256.0.0.1:99999"
+	if _, err := NewDaemon(cfg); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}

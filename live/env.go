@@ -25,7 +25,10 @@ type EnvConfig struct {
 	// simulation-scale config finish a live run in seconds. Must be > 0.
 	TimeScale float64
 	// Latency is the per-message transport latency in run-seconds (scaled to
-	// wall time by TimeScale). It only applies to the built-in memory bus.
+	// wall time by TimeScale). The built-in memory bus realizes it in the
+	// transport; custom transports (NewTransport) realize it on the run
+	// loop's timer heap before the message enters the transport, so TCP
+	// endpoints keep the same constant-delay semantics.
 	Latency float64
 	// NewTransport optionally overrides the built-in in-process memory bus:
 	// it must return the transport endpoint of node i, whose Send(to, ...)
@@ -49,6 +52,10 @@ type Env struct {
 	cfg   EnvConfig
 	bus   *transport.MemoryBus
 	trans []transport.Transport
+	// sendLatency is the constant per-message delay realized on the timer
+	// heap for custom transports (the memory bus realizes EnvConfig.Latency
+	// itself).
+	sendLatency float64
 
 	mu      sync.Mutex
 	deliver runtime.DeliverFunc
@@ -74,7 +81,7 @@ var (
 
 type envDelivery struct {
 	from, to protocol.NodeID
-	payload  any
+	payload  protocol.Payload
 }
 
 // NewEnv builds a wall-clock environment with every node online and one
@@ -113,6 +120,8 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 	if cfg.NewTransport == nil {
 		latency := e.wallDuration(cfg.Latency)
 		e.bus = transport.NewMemoryBus(latency)
+	} else {
+		e.sendLatency = cfg.Latency
 	}
 	for i := 0; i < cfg.N; i++ {
 		var (
@@ -133,9 +142,17 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 			return nil, fmt.Errorf("live: NewTransport(%d) returned nil", i)
 		}
 		to := protocol.NodeID(i)
-		tr.SetHandler(func(from protocol.NodeID, payload any) {
-			e.enqueue(envDelivery{from: from, to: to, payload: payload})
-		})
+		// Typed transports (TCP) deliver payloads losslessly; plain ones
+		// deliver concrete values that are re-boxed at the edge.
+		if pr, ok := tr.(transport.PayloadReceiver); ok {
+			pr.SetPayloadHandler(func(from protocol.NodeID, p protocol.Payload) {
+				e.enqueue(envDelivery{from: from, to: to, payload: p})
+			})
+		} else {
+			tr.SetHandler(func(from protocol.NodeID, payload any) {
+				e.enqueue(envDelivery{from: from, to: to, payload: protocol.BoxPayload(payload)})
+			})
+		}
 		e.trans[i] = tr
 	}
 	return e, nil
@@ -267,15 +284,30 @@ func (e *Env) Every(phase, interval float64, fn func() bool) {
 func (e *Env) Rand(stream uint64) protocol.Rand { return rng.New(rng.Derive(e.cfg.Seed, stream)) }
 
 // Send implements runtime.Env: the payload enters the sender's transport
-// endpoint and re-surfaces on the run loop via the delivery queue. The
-// transports carry plain values, so a word-encoded payload is decoded back
-// to its concrete message here (Payload.Value); the live path trades one
-// boxing allocation per message for wire compatibility.
+// endpoint and re-surfaces on the run loop via the delivery queue. Typed
+// transports carry the payload as-is (word payloads cross TCP in the compact
+// binary frame); plain transports carry the concrete value, decoded back
+// here (Payload.Value) at the cost of one boxing allocation per message.
+// With a custom transport and a base Latency, the delay is realized on the
+// timer heap before the transport sees the message.
 func (e *Env) Send(from, to protocol.NodeID, payload protocol.Payload) {
+	if e.sendLatency > 0 {
+		e.SendDelayed(from, to, payload, e.sendLatency)
+		return
+	}
+	e.sendNow(from, to, payload)
+}
+
+// sendNow pushes one payload into the sender's transport endpoint.
+func (e *Env) sendNow(from, to protocol.NodeID, payload protocol.Payload) {
 	if int(from) < 0 || int(from) >= len(e.trans) {
 		return
 	}
 	// Delivery failures are message loss, which the protocol tolerates.
+	if ps, ok := e.trans[from].(transport.PayloadSender); ok {
+		_ = ps.SendPayload(to, payload)
+		return
+	}
 	_ = e.trans[from].Send(to, payload.Value())
 }
 
@@ -292,14 +324,13 @@ func (e *Env) SendDelayed(from, to protocol.NodeID, payload protocol.Payload, de
 		return
 	}
 	if delay <= 0 || delay != delay {
-		_ = e.trans[from].Send(to, payload.Value())
+		e.sendNow(from, to, payload)
 		return
 	}
-	tr := e.trans[from]
-	v := payload.Value()
+	p := payload
 	e.At(e.Now()+delay, func() {
 		// Delivery failures are message loss, which the protocol tolerates.
-		_ = tr.Send(to, v)
+		e.sendNow(from, to, p)
 	})
 }
 
@@ -377,18 +408,16 @@ func (e *Env) nextEventTime(until float64) (float64, bool) {
 	return e.events[0].time, true
 }
 
-// dispatch runs one transport delivery on the run loop. The concrete value
-// that arrived from the wire is re-wrapped as a boxed payload; the built-in
-// applications accept both representations. The callback is read under mu
-// (it may be swapped from another goroutine, see SetDeliver) but invoked
-// outside it: delivery handlers re-enter the environment (Send, At, the
-// inbox overflow counter), all of which take mu.
+// dispatch runs one transport delivery on the run loop. The callback is read
+// under mu (it may be swapped from another goroutine, see SetDeliver) but
+// invoked outside it: delivery handlers re-enter the environment (Send, At,
+// the inbox overflow counter), all of which take mu.
 func (e *Env) dispatch(d envDelivery) {
 	e.mu.Lock()
 	deliver := e.deliver
 	e.mu.Unlock()
 	if deliver != nil {
-		deliver(d.from, d.to, protocol.BoxPayload(d.payload))
+		deliver(d.from, d.to, d.payload)
 	}
 }
 

@@ -68,6 +68,11 @@ type Config struct {
 	// callback and the service goroutine (default 1024). When the queue is
 	// full further messages are dropped, which the protocol tolerates.
 	QueueSize int
+	// TickObserver, when set, is called after every proactive tick with the
+	// wall-clock duration the tick took (application work plus sends). The
+	// daemon feeds the ops endpoint's latency quantiles from it. It runs on
+	// the service goroutine under the node lock: keep it cheap.
+	TickObserver func(elapsed time.Duration)
 }
 
 func (c Config) validate() error {
@@ -109,7 +114,7 @@ type Service struct {
 
 type incomingMessage struct {
 	from    protocol.NodeID
-	payload any
+	payload protocol.Payload
 }
 
 // New validates the configuration, builds the protocol node and hooks the
@@ -148,7 +153,16 @@ func New(cfg Config) (*Service, error) {
 		return nil, err
 	}
 	s.node = node
-	cfg.Transport.SetHandler(s.enqueue)
+	// Transports that speak typed payloads deliver them losslessly (word
+	// payloads stay word-encoded end to end); plain transports deliver
+	// concrete values that are re-boxed here.
+	if pr, ok := cfg.Transport.(transport.PayloadReceiver); ok {
+		pr.SetPayloadHandler(s.Deliver)
+	} else {
+		cfg.Transport.SetHandler(func(from protocol.NodeID, payload any) {
+			s.Deliver(from, protocol.BoxPayload(payload))
+		})
+	}
 	return s, nil
 }
 
@@ -160,14 +174,22 @@ type transportSender struct {
 
 func (t transportSender) Send(_, to protocol.NodeID, payload protocol.Payload) {
 	// Delivery failures are equivalent to message loss, which the protocol
-	// tolerates; there is nothing useful to do with the error here. The
-	// transport carries plain values, so the payload is unwrapped here.
+	// tolerates; there is nothing useful to do with the error here.
+	if ps, ok := t.transport.(transport.PayloadSender); ok {
+		// Typed path: word payloads cross the wire in the compact binary
+		// frame with the simulator's byte accounting.
+		_ = ps.SendPayload(to, payload)
+		return
+	}
+	// The plain transport carries concrete values, so unwrap the payload.
 	_ = t.transport.Send(to, payload.Value())
 }
 
-// enqueue is the transport handler: it forwards the message to the service
-// goroutine, dropping it if the service is stopping or overloaded.
-func (s *Service) enqueue(from protocol.NodeID, payload any) {
+// Deliver forwards an incoming payload to the service goroutine, dropping it
+// if the service is stopping or overloaded. New installs it as the transport
+// handler; the daemon calls it directly for payloads that pass its control
+// filter.
+func (s *Service) Deliver(from protocol.NodeID, payload protocol.Payload) {
 	select {
 	case <-s.stopped:
 		return
@@ -202,9 +224,16 @@ func (s *Service) Run(ctx context.Context) error {
 			return nil
 		case <-ticker.C:
 			s.withNode(func(n *protocol.Node) {
-				if !s.offline {
-					n.Tick()
+				if s.offline {
+					return
 				}
+				if s.cfg.TickObserver != nil {
+					start := time.Now()
+					n.Tick()
+					s.cfg.TickObserver(time.Since(start))
+					return
+				}
+				n.Tick()
 			})
 		case m := <-s.incoming:
 			s.withNode(func(n *protocol.Node) {
@@ -214,7 +243,7 @@ func (s *Service) Run(ctx context.Context) error {
 					s.dropped++
 					return
 				}
-				n.Receive(m.from, protocol.BoxPayload(m.payload))
+				n.Receive(m.from, m.payload)
 			})
 		}
 	}
@@ -275,6 +304,24 @@ func (s *Service) DroppedIncoming() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.dropped
+}
+
+// QueueDepth returns the number of incoming messages waiting for the service
+// goroutine, an ops-surface gauge for the daemon's metrics endpoint.
+func (s *Service) QueueDepth() int { return len(s.incoming) }
+
+// RespondDirect sends one freshly created message straight to the given peer
+// if a token is available (see protocol.Node.RespondDirect). The daemon uses
+// it to answer a rejoining peer's pull with the latest update, token-gated as
+// §4.1.2 prescribes.
+func (s *Service) RespondDirect(to protocol.NodeID) bool {
+	var sent bool
+	s.withNode(func(n *protocol.Node) {
+		if !s.offline {
+			sent = n.RespondDirect(to)
+		}
+	})
+	return sent
 }
 
 // ID returns the node's identity.

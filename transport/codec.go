@@ -1,0 +1,73 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/szte-dcs/tokenaccount/protocol"
+)
+
+// The TCP wire carries two frame families, discriminated by the first byte of
+// the frame body:
+//
+//   - JSON envelope frames start with '{' (the wireEnvelope encoding used
+//     since the first TCP transport) and carry boxed payloads registered in a
+//     Registry.
+//   - Word frames start with wordFrameTag and carry a word-encoded
+//     protocol.Payload verbatim: tag, sender ID, payload kind, payload word,
+//     21 bytes total. The paper applications and blockcast word-encode every
+//     message, so their traffic crosses real sockets without reflection,
+//     JSON, or per-message allocation on the encode side — and the byte
+//     accounting of protocol.RegisterPayloadSizer applies on the wire exactly
+//     as it does in the simulator.
+//
+// The discriminator is unambiguous: wordFrameTag is not a valid first byte of
+// any JSON document.
+const (
+	wordFrameTag  = 0x01
+	wordFrameSize = 1 + 8 + 4 + 8
+)
+
+// appendWordFrame encodes a word payload into the compact binary frame.
+func appendWordFrame(dst []byte, from protocol.NodeID, p protocol.Payload) []byte {
+	var buf [wordFrameSize]byte
+	buf[0] = wordFrameTag
+	binary.BigEndian.PutUint64(buf[1:9], uint64(int64(from)))
+	binary.BigEndian.PutUint32(buf[9:13], uint32(p.Kind))
+	binary.BigEndian.PutUint64(buf[13:21], p.Word)
+	return append(dst, buf[:]...)
+}
+
+// decodeWordFrame decodes a frame produced by appendWordFrame.
+func decodeWordFrame(data []byte) (protocol.NodeID, protocol.Payload, error) {
+	if len(data) != wordFrameSize || data[0] != wordFrameTag {
+		return 0, protocol.Payload{}, fmt.Errorf("transport: malformed word frame (%d bytes)", len(data))
+	}
+	from := protocol.NodeID(int64(binary.BigEndian.Uint64(data[1:9])))
+	kind := protocol.PayloadKind(binary.BigEndian.Uint32(data[9:13]))
+	if kind == protocol.KindBoxed {
+		return 0, protocol.Payload{}, fmt.Errorf("transport: word frame with boxed kind")
+	}
+	word := binary.BigEndian.Uint64(data[13:21])
+	return from, protocol.WordPayload(kind, word), nil
+}
+
+// PayloadSender is the optional Transport capability for typed payloads:
+// word-encoded payloads traverse the wire in the compact binary frame (no
+// registry, no JSON), boxed payloads fall back to the registry envelope. The
+// live environment and the daemon prefer this path when the transport offers
+// it, so the zero-alloc payload representation of the simulator survives onto
+// real sockets.
+type PayloadSender interface {
+	SendPayload(to protocol.NodeID, p protocol.Payload) error
+}
+
+// PayloadHandler consumes an incoming payload in its typed representation:
+// word frames arrive as word payloads, envelope frames as boxed values.
+type PayloadHandler func(from protocol.NodeID, p protocol.Payload)
+
+// PayloadReceiver is the receive-side counterpart of PayloadSender: installing
+// a PayloadHandler replaces the untyped Handler for all subsequent deliveries.
+type PayloadReceiver interface {
+	SetPayloadHandler(h PayloadHandler)
+}

@@ -4,8 +4,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/szte-dcs/tokenaccount/protocol"
 )
@@ -14,40 +16,117 @@ import (
 // indicate a protocol error or an attack and close the connection.
 const maxFrameSize = 16 << 20
 
-// TCPEndpoint is a Transport over TCP: it listens on a local address for
-// incoming messages and dials peers on demand, keeping one outgoing
-// connection per peer. Payloads must be registered in a Registry shared by
-// all participating processes.
+// Managed-connection defaults. They are deliberately LAN-flavoured: the
+// deployment target is a localhost or datacenter fleet of tokennode daemons.
+const (
+	defaultPeerQueue   = 256
+	defaultDialTimeout = 2 * time.Second
+	defaultBackoffMin  = 50 * time.Millisecond
+	defaultBackoffMax  = 1 * time.Second
+)
+
+// tcpConfig carries the tunables of a TCPEndpoint.
+type tcpConfig struct {
+	peerQueue   int
+	dialTimeout time.Duration
+	backoffMin  time.Duration
+	backoffMax  time.Duration
+}
+
+// TCPOption configures a TCPEndpoint beyond its required parameters.
+type TCPOption func(*tcpConfig)
+
+// WithPeerQueueSize bounds the per-peer outbound queue (default 256 frames).
+// When a peer's queue is full further sends to it are shed, never blocking
+// the caller; the shed count is visible in Stats.SendsShed.
+func WithPeerQueueSize(n int) TCPOption {
+	return func(c *tcpConfig) {
+		if n > 0 {
+			c.peerQueue = n
+		}
+	}
+}
+
+// WithDialTimeout bounds a single dial attempt (default 2 s).
+func WithDialTimeout(d time.Duration) TCPOption {
+	return func(c *tcpConfig) {
+		if d > 0 {
+			c.dialTimeout = d
+		}
+	}
+}
+
+// WithBackoff sets the reconnect backoff window: after a failed dial the
+// peer's link fast-fails sends for a jittered, exponentially growing span
+// between min and max (defaults 50 ms and 1 s).
+func WithBackoff(min, max time.Duration) TCPOption {
+	return func(c *tcpConfig) {
+		if min > 0 {
+			c.backoffMin = min
+		}
+		if max >= c.backoffMin {
+			c.backoffMax = max
+		}
+	}
+}
+
+// TCPEndpoint is a Transport over TCP with managed per-peer connections: each
+// peer gets its own bounded outbound queue drained by a dedicated writer, so
+// one slow or dead peer never serializes sends to the others. Writers dial on
+// demand, redial with capped exponential backoff plus jitter, retry a frame
+// once over a fresh connection when a cached connection turns out stale, and
+// shed load (counted, never blocking) when a peer's queue fills. Outgoing
+// connections are monitored for peer hangup, so a restarted peer is redialed
+// on the first send after the restart instead of losing it to a stale socket.
 //
-// Connections are best-effort: if a peer cannot be reached the message is
-// dropped (and the error reported to the caller), which is exactly the
-// failure model the token account protocol is designed to tolerate.
+// Payloads sent through the untyped Send path must be registered in a
+// Registry shared by all participating processes; word-encoded
+// protocol.Payload values sent through SendPayload travel in a compact binary
+// frame and need no registration (see codec.go).
+//
+// Delivery remains best-effort: if a peer cannot be reached the message is
+// dropped, which is exactly the failure model the token account protocol is
+// designed to tolerate — but every loss is counted in Stats.
 type TCPEndpoint struct {
 	id       protocol.NodeID
 	registry *Registry
 	listener net.Listener
+	cfg      tcpConfig
 
-	mu       sync.Mutex
-	handler  Handler
-	peers    map[protocol.NodeID]string   // peer ID -> address
-	conns    map[protocol.NodeID]net.Conn // cached outgoing connections
-	accepted map[net.Conn]struct{}        // incoming connections being read
-	closed   bool
-	wg       sync.WaitGroup
+	mu             sync.Mutex
+	handler        Handler
+	payloadHandler PayloadHandler
+	links          map[protocol.NodeID]*peerLink
+	accepted       map[net.Conn]struct{}
+	closed         bool
+	closedCh       chan struct{}
+	wg             sync.WaitGroup
 
-	// sendMu serializes frame writes so concurrent Send calls cannot
-	// interleave bytes on a shared connection.
-	sendMu sync.Mutex
+	stats counters
 }
 
-var _ Transport = (*TCPEndpoint)(nil)
+var (
+	_ Transport       = (*TCPEndpoint)(nil)
+	_ PayloadSender   = (*TCPEndpoint)(nil)
+	_ PayloadReceiver = (*TCPEndpoint)(nil)
+	_ StatsReporter   = (*TCPEndpoint)(nil)
+)
 
 // NewTCPEndpoint starts listening on addr (e.g. "127.0.0.1:0") and returns
-// the endpoint. The registry must contain every payload type that will be
-// sent or received.
-func NewTCPEndpoint(id protocol.NodeID, addr string, registry *Registry) (*TCPEndpoint, error) {
+// the endpoint. The registry must contain every boxed payload type that will
+// be sent or received; word-encoded payloads bypass it.
+func NewTCPEndpoint(id protocol.NodeID, addr string, registry *Registry, opts ...TCPOption) (*TCPEndpoint, error) {
 	if registry == nil {
 		return nil, fmt.Errorf("transport: nil registry")
+	}
+	cfg := tcpConfig{
+		peerQueue:   defaultPeerQueue,
+		dialTimeout: defaultDialTimeout,
+		backoffMin:  defaultBackoffMin,
+		backoffMax:  defaultBackoffMax,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -57,9 +136,10 @@ func NewTCPEndpoint(id protocol.NodeID, addr string, registry *Registry) (*TCPEn
 		id:       id,
 		registry: registry,
 		listener: ln,
-		peers:    make(map[protocol.NodeID]string),
-		conns:    make(map[protocol.NodeID]net.Conn),
+		cfg:      cfg,
+		links:    make(map[protocol.NodeID]*peerLink),
 		accepted: make(map[net.Conn]struct{}),
+		closedCh: make(chan struct{}),
 	}
 	e.wg.Add(1)
 	go e.acceptLoop()
@@ -72,11 +152,62 @@ func (e *TCPEndpoint) Addr() string { return e.listener.Addr().String() }
 // ID returns the endpoint's node ID.
 func (e *TCPEndpoint) ID() protocol.NodeID { return e.id }
 
-// AddPeer registers the address of a peer node so that Send can reach it.
+// Stats returns a snapshot of the endpoint's operational counters plus the
+// current queue-depth and connected-peer gauges.
+func (e *TCPEndpoint) Stats() Stats {
+	s := e.stats.snapshot()
+	e.mu.Lock()
+	links := make([]*peerLink, 0, len(e.links))
+	for _, l := range e.links {
+		links = append(links, l)
+	}
+	e.mu.Unlock()
+	for _, l := range links {
+		s.QueueDepth += int64(len(l.queue))
+		if l.connected() {
+			s.PeersConnected++
+		}
+	}
+	return s
+}
+
+// AddPeer registers (or re-registers) the address of a peer node so that Send
+// can reach it. Re-registering an existing peer updates its address; the next
+// dial uses it.
 func (e *TCPEndpoint) AddPeer(id protocol.NodeID, addr string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.peers[id] = addr
+	if e.closed {
+		return
+	}
+	if l, ok := e.links[id]; ok {
+		l.setAddr(addr)
+		return
+	}
+	e.links[id] = newPeerLink(e, id, addr)
+}
+
+// RemovePeer forgets a peer: its queued frames are discarded, its connection
+// closed and subsequent sends to it fail. Used by the daemon's leave path.
+func (e *TCPEndpoint) RemovePeer(id protocol.NodeID) {
+	e.mu.Lock()
+	l := e.links[id]
+	delete(e.links, id)
+	e.mu.Unlock()
+	if l != nil {
+		l.stop()
+	}
+}
+
+// Peers returns the IDs of the currently registered peers.
+func (e *TCPEndpoint) Peers() []protocol.NodeID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ids := make([]protocol.NodeID, 0, len(e.links))
+	for id := range e.links {
+		ids = append(ids, id)
+	}
+	return ids
 }
 
 // SetHandler implements Transport.
@@ -86,65 +217,71 @@ func (e *TCPEndpoint) SetHandler(h Handler) {
 	e.handler = h
 }
 
+// SetPayloadHandler implements PayloadReceiver: it replaces the untyped
+// handler for all subsequent deliveries.
+func (e *TCPEndpoint) SetPayloadHandler(h PayloadHandler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.payloadHandler = h
+}
+
 // Send implements Transport: the payload is encoded through the registry and
-// written to the peer over a cached connection (dialled on first use).
+// enqueued on the destination peer's outbound queue. Errors are local only —
+// closed endpoint, unknown peer, unregistered payload, or a peer whose
+// backoff window is open; a full queue sheds the message (counted in Stats)
+// and reports success, because shedding is the designed response to a slow
+// peer, not a caller error.
 func (e *TCPEndpoint) Send(to protocol.NodeID, payload any) error {
 	data, err := e.registry.encode(e.id, payload)
 	if err != nil {
 		return err
 	}
-	conn, err := e.connTo(to)
-	if err != nil {
-		return err
-	}
-	e.sendMu.Lock()
-	err = writeFrame(conn, data)
-	e.sendMu.Unlock()
-	if err != nil {
-		// The cached connection broke; forget it so the next send redials.
-		e.mu.Lock()
-		if cached, ok := e.conns[to]; ok && cached == conn {
-			delete(e.conns, to)
-		}
-		e.mu.Unlock()
-		_ = conn.Close()
-		return fmt.Errorf("transport: send to %d: %w", to, err)
-	}
-	return nil
+	return e.enqueueFrame(to, data, 1)
 }
 
-func (e *TCPEndpoint) connTo(to protocol.NodeID) (net.Conn, error) {
+// SendPayload implements PayloadSender: word-encoded payloads travel in the
+// compact binary frame, boxed ones fall back to the registry envelope. The
+// modeled payload bytes (protocol.PayloadSize) accumulate in
+// Stats.PayloadBytesSent, carrying the simulator's byte accounting onto real
+// sockets.
+func (e *TCPEndpoint) SendPayload(to protocol.NodeID, p protocol.Payload) error {
+	if p.Kind == protocol.KindBoxed {
+		data, err := e.registry.encode(e.id, p.Box)
+		if err != nil {
+			return err
+		}
+		return e.enqueueFrame(to, data, int64(protocol.PayloadSize(p)))
+	}
+	return e.enqueueFrame(to, appendWordFrame(nil, e.id, p), int64(protocol.PayloadSize(p)))
+}
+
+// enqueueFrame routes an encoded frame onto the destination's bounded queue.
+func (e *TCPEndpoint) enqueueFrame(to protocol.NodeID, frame []byte, payloadBytes int64) error {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		return nil, ErrClosed
+		return ErrClosed
 	}
-	if conn, ok := e.conns[to]; ok {
-		e.mu.Unlock()
-		return conn, nil
-	}
-	addr, ok := e.peers[to]
+	l, ok := e.links[to]
 	e.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("transport: no address known for node %d", to)
+		return fmt.Errorf("transport: no address known for node %d", to)
 	}
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	if l.backingOff() {
+		e.stats.sendErrors.Add(1)
+		return fmt.Errorf("transport: peer %d unreachable, backing off", to)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
-		_ = conn.Close()
-		return nil, ErrClosed
+	l.ensureStarted()
+	select {
+	case l.queue <- frame:
+		e.stats.payloadBytesSent.Add(payloadBytes)
+		return nil
+	default:
+		// The peer is slower than the offered load; shed rather than block
+		// the caller (the protocol tick must never stall behind one peer).
+		e.stats.sendsShed.Add(1)
+		return nil
 	}
-	if existing, ok := e.conns[to]; ok {
-		// Another goroutine raced us; keep the existing connection.
-		_ = conn.Close()
-		return existing, nil
-	}
-	e.conns[to] = conn
-	return conn, nil
 }
 
 // Close implements Transport.
@@ -155,22 +292,35 @@ func (e *TCPEndpoint) Close() error {
 		return nil
 	}
 	e.closed = true
-	conns := make([]net.Conn, 0, len(e.conns)+len(e.accepted))
-	for _, c := range e.conns {
-		conns = append(conns, c)
+	close(e.closedCh)
+	links := make([]*peerLink, 0, len(e.links))
+	for _, l := range e.links {
+		links = append(links, l)
 	}
+	conns := make([]net.Conn, 0, len(e.accepted))
 	for c := range e.accepted {
 		conns = append(conns, c)
 	}
-	e.conns = map[protocol.NodeID]net.Conn{}
 	e.mu.Unlock()
 
 	err := e.listener.Close()
+	for _, l := range links {
+		l.stop()
+	}
 	for _, c := range conns {
 		_ = c.Close()
 	}
 	e.wg.Wait()
 	return err
+}
+
+func (e *TCPEndpoint) isClosed() bool {
+	select {
+	case <-e.closedCh:
+		return true
+	default:
+		return false
+	}
 }
 
 func (e *TCPEndpoint) acceptLoop() {
@@ -187,8 +337,8 @@ func (e *TCPEndpoint) acceptLoop() {
 			return
 		}
 		e.accepted[conn] = struct{}{}
-		e.mu.Unlock()
 		e.wg.Add(1)
+		e.mu.Unlock()
 		go func() {
 			defer e.wg.Done()
 			defer func() {
@@ -206,33 +356,338 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 	for {
 		data, err := readFrame(conn)
 		if err != nil {
+			// Peer hangup (or a frame violation). Counted unless we are the
+			// ones shutting down.
+			if !e.isClosed() {
+				e.stats.disconnects.Add(1)
+			}
 			return
+		}
+		e.stats.framesReceived.Add(1)
+		e.stats.bytesReceived.Add(int64(len(data)) + frameHeaderSize)
+		if len(data) > 0 && data[0] == wordFrameTag {
+			from, p, err := decodeWordFrame(data)
+			if err != nil {
+				e.countDecodeFailure()
+				return
+			}
+			e.deliverIncoming(from, p)
+			continue
 		}
 		from, payload, err := e.registry.decode(data)
 		if err != nil {
 			// Undecodable peers are disconnected; the protocol tolerates the
-			// lost messages.
+			// lost messages — but the failure and the disconnect are counted,
+			// so silent drops show up on the ops surface instead of
+			// vanishing.
+			e.countDecodeFailure()
 			return
 		}
-		e.mu.Lock()
-		h := e.handler
-		closed := e.closed
-		e.mu.Unlock()
-		if closed {
+		e.deliverIncoming(from, protocol.BoxPayload(payload))
+	}
+}
+
+// countDecodeFailure records a decode error and the disconnect it entails.
+func (e *TCPEndpoint) countDecodeFailure() {
+	e.stats.decodeErrors.Add(1)
+	if !e.isClosed() {
+		e.stats.disconnects.Add(1)
+	}
+}
+
+// deliverIncoming hands a decoded payload to the installed handler: the
+// payload handler when set, otherwise the untyped handler (word payloads are
+// expanded through their registered decoder; a word kind without one counts
+// as a decode error and is dropped without disconnecting — the frame itself
+// was well-formed).
+func (e *TCPEndpoint) deliverIncoming(from protocol.NodeID, p protocol.Payload) {
+	e.mu.Lock()
+	ph, h, closed := e.payloadHandler, e.handler, e.closed
+	e.mu.Unlock()
+	if closed {
+		return
+	}
+	if ph != nil {
+		ph(from, p)
+		return
+	}
+	if h == nil {
+		return
+	}
+	v := p.Value()
+	if v == nil {
+		e.stats.decodeErrors.Add(1)
+		return
+	}
+	h(from, v)
+}
+
+// peerLink is the managed outgoing side of one peer: a bounded frame queue,
+// a dedicated writer goroutine (started on first use), the current
+// connection, and the reconnect backoff state.
+type peerLink struct {
+	ep    *TCPEndpoint
+	id    protocol.NodeID
+	queue chan []byte
+	stopc chan struct{}
+
+	mu         sync.Mutex
+	addr       string
+	started    bool
+	stopped    bool
+	conn       net.Conn
+	everDialed bool
+	backoff    time.Duration
+	downUntil  time.Time
+}
+
+func newPeerLink(e *TCPEndpoint, id protocol.NodeID, addr string) *peerLink {
+	return &peerLink{
+		ep:    e,
+		id:    id,
+		addr:  addr,
+		queue: make(chan []byte, e.cfg.peerQueue),
+		stopc: make(chan struct{}),
+	}
+}
+
+func (l *peerLink) setAddr(addr string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if addr != l.addr {
+		l.addr = addr
+		// A re-addressed peer is assumed reachable at the new address.
+		l.backoff = 0
+		l.downUntil = time.Time{}
+	}
+}
+
+func (l *peerLink) connected() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.conn != nil
+}
+
+// backingOff reports whether the link is inside a reconnect backoff window
+// with no established connection; sends fast-fail rather than queueing
+// frames that the writer would immediately discard.
+func (l *peerLink) backingOff() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.conn == nil && time.Now().Before(l.downUntil)
+}
+
+// ensureStarted launches the writer goroutine on first use, so idle peers
+// cost no goroutine.
+func (l *peerLink) ensureStarted() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.started || l.stopped {
+		return
+	}
+	l.ep.mu.Lock()
+	if l.ep.closed {
+		l.ep.mu.Unlock()
+		return
+	}
+	l.ep.wg.Add(1)
+	l.ep.mu.Unlock()
+	l.started = true
+	go l.writeLoop()
+}
+
+// stop tears the link down: the writer exits, the connection closes, queued
+// frames are discarded.
+func (l *peerLink) stop() {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return
+	}
+	l.stopped = true
+	conn := l.conn
+	l.conn = nil
+	close(l.stopc)
+	l.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+func (l *peerLink) writeLoop() {
+	defer l.ep.wg.Done()
+	for {
+		select {
+		case <-l.ep.closedCh:
 			return
-		}
-		if h != nil {
-			h(from, payload)
+		case <-l.stopc:
+			return
+		case frame := <-l.queue:
+			l.deliver(frame)
 		}
 	}
 }
+
+// deliver writes one frame, dialling if necessary. A write failure on a
+// cached connection means the connection went stale (the classic case: the
+// peer restarted between two sends); the frame is retried exactly once over
+// a fresh connection before it is declared lost, so a single-shot send
+// around a peer restart is not silently swallowed by the dead socket.
+func (l *peerLink) deliver(frame []byte) {
+	conn := l.currentConn()
+	if conn == nil {
+		if conn = l.dial(false); conn == nil {
+			l.ep.stats.sendErrors.Add(1)
+			return
+		}
+	}
+	if l.write(conn, frame) == nil {
+		return
+	}
+	l.dropConn(conn)
+	if conn = l.dial(true); conn == nil {
+		l.ep.stats.sendErrors.Add(1)
+		return
+	}
+	if l.write(conn, frame) != nil {
+		l.dropConn(conn)
+		l.ep.stats.sendErrors.Add(1)
+		return
+	}
+}
+
+func (l *peerLink) currentConn() net.Conn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.conn
+}
+
+func (l *peerLink) write(conn net.Conn, frame []byte) error {
+	if err := writeFrame(conn, frame); err != nil {
+		return err
+	}
+	l.ep.stats.framesSent.Add(1)
+	l.ep.stats.bytesSent.Add(int64(len(frame)) + frameHeaderSize)
+	return nil
+}
+
+// dial establishes a fresh connection, honouring the backoff window unless
+// force is set (the single post-failure retry ignores it: the whole point is
+// to probe whether the peer is back right now).
+func (l *peerLink) dial(force bool) net.Conn {
+	l.mu.Lock()
+	addr := l.addr
+	stopped := l.stopped
+	if !force && time.Now().Before(l.downUntil) {
+		l.mu.Unlock()
+		return nil
+	}
+	l.mu.Unlock()
+	if stopped || l.ep.isClosed() {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", addr, l.ep.cfg.dialTimeout)
+	if err != nil {
+		l.ep.stats.dialFailures.Add(1)
+		l.noteDialFailure()
+		return nil
+	}
+	l.ep.stats.dials.Add(1)
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		_ = conn.Close()
+		return nil
+	}
+	if l.everDialed {
+		l.ep.stats.reconnects.Add(1)
+	}
+	l.everDialed = true
+	l.backoff = 0
+	l.downUntil = time.Time{}
+	l.conn = conn
+	l.mu.Unlock()
+	l.monitor(conn)
+	return conn
+}
+
+// noteDialFailure advances the exponential backoff and opens a jittered
+// fast-fail window: the delay doubles from backoffMin up to backoffMax, and
+// each window spans a uniformly random fraction in [½, 1] of the current
+// delay, so a fleet of reconnecting peers does not thundering-herd a
+// restarted node.
+func (l *peerLink) noteDialFailure() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.backoff == 0 {
+		l.backoff = l.ep.cfg.backoffMin
+	} else {
+		l.backoff *= 2
+		if l.backoff > l.ep.cfg.backoffMax {
+			l.backoff = l.ep.cfg.backoffMax
+		}
+	}
+	window := l.backoff/2 + time.Duration(rand.Int63n(int64(l.backoff/2)+1))
+	l.downUntil = time.Now().Add(window)
+}
+
+// dropConn discards a connection that failed a write: it is closed and, if
+// still the link's current connection, cleared and counted as a disconnect.
+// The monitor goroutine's own clearConn then finds nothing to do, so each
+// teardown is counted exactly once.
+func (l *peerLink) dropConn(conn net.Conn) {
+	if l.clearConn(conn) && !l.ep.isClosed() {
+		l.ep.stats.disconnects.Add(1)
+	}
+	_ = conn.Close()
+}
+
+// clearConn clears the link's current connection if it is conn, reporting
+// whether it was.
+func (l *peerLink) clearConn(conn net.Conn) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.conn == conn {
+		l.conn = nil
+		return true
+	}
+	return false
+}
+
+// monitor watches an outgoing connection for peer hangup. Outgoing
+// connections never receive data (the wire protocol is one-directional per
+// connection), so a completed Read means the peer closed or reset — the
+// stale connection is dropped immediately instead of poisoning the next
+// send, which is how a restarted peer gets a fresh dial on the very first
+// message after its restart.
+func (l *peerLink) monitor(conn net.Conn) {
+	l.ep.mu.Lock()
+	if l.ep.closed {
+		l.ep.mu.Unlock()
+		return
+	}
+	l.ep.wg.Add(1)
+	l.ep.mu.Unlock()
+	go func() {
+		defer l.ep.wg.Done()
+		var buf [1]byte
+		_, _ = conn.Read(buf[:])
+		if l.clearConn(conn) && !l.ep.isClosed() {
+			l.ep.stats.disconnects.Add(1)
+		}
+		_ = conn.Close()
+	}()
+}
+
+// frameHeaderSize is the wire overhead of one frame: the 4-byte length prefix.
+const frameHeaderSize = 4
 
 // writeFrame writes a length-prefixed frame.
 func writeFrame(w io.Writer, data []byte) error {
 	if len(data) > maxFrameSize {
 		return fmt.Errorf("frame of %d bytes exceeds limit", len(data))
 	}
-	var header [4]byte
+	var header [frameHeaderSize]byte
 	binary.BigEndian.PutUint32(header[:], uint32(len(data)))
 	if _, err := w.Write(header[:]); err != nil {
 		return err
@@ -243,7 +698,7 @@ func writeFrame(w io.Writer, data []byte) error {
 
 // readFrame reads a length-prefixed frame.
 func readFrame(r io.Reader) ([]byte, error) {
-	var header [4]byte
+	var header [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, header[:]); err != nil {
 		return nil, err
 	}

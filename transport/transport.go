@@ -1,8 +1,15 @@
 // Package transport provides message transports for the real-time token
-// account service (internal/live): an in-process transport backed by
-// channels, suitable for tests, examples and single-process deployments, and
-// a TCP transport built on the standard library's net package with
-// length-prefixed JSON framing.
+// account service (live): an in-process transport backed by channels,
+// suitable for tests, examples and single-process deployments, and a TCP
+// transport with managed per-peer connections — bounded outbound queues that
+// shed load instead of blocking, on-demand dialling with capped exponential
+// backoff and jitter, and operational counters exported through Stats.
+//
+// The TCP wire carries length-prefixed frames in two families: JSON envelope
+// frames for payload types registered in a Registry, and compact binary word
+// frames for word-encoded protocol.Payload values (see codec.go), so the
+// simulator's zero-alloc payload representation and its byte accounting carry
+// over to real sockets.
 //
 // The system model of the paper assumes a reliable transfer protocol between
 // online nodes; both transports deliver messages reliably while the

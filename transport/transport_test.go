@@ -245,8 +245,17 @@ func TestTCPEndpointErrors(t *testing.T) {
 		t.Error("unregistered payload should error")
 	}
 	e.AddPeer(9, "127.0.0.1:1") // nothing listens there
-	if err := e.Send(9, testPayload{}); err == nil {
-		t.Error("send to unreachable peer should error")
+	// Sends are asynchronous: the first send is accepted onto the peer's
+	// queue, the writer's dial fails, and once the backoff window opens
+	// subsequent sends fast-fail with an error.
+	deadline := time.Now().Add(2 * time.Second)
+	var sendErr error
+	for time.Now().Before(deadline) && sendErr == nil {
+		sendErr = e.Send(9, testPayload{})
+		time.Sleep(2 * time.Millisecond)
+	}
+	if sendErr == nil {
+		t.Error("send to unreachable peer should eventually error (backoff fast-fail)")
 	}
 	if err := e.Close(); err != nil {
 		t.Fatal(err)
