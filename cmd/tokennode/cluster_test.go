@@ -134,7 +134,8 @@ func TestMultiProcessCluster(t *testing.T) {
 			"-strategy", "randomized:8:40",
 			"-overlay-k", "8",
 			"-delta", "100ms",
-			"-seed", strconv.Itoa(i+1),
+			"-seed", strconv.Itoa(i+1), // per-node protocol randomness
+			"-overlay-seed", "1", // deployment-wide: identical on every node
 		)
 		cmd.Stdout = os.Stderr
 		cmd.Stderr = os.Stderr

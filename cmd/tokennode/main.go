@@ -48,9 +48,14 @@ type nodeOptions struct {
 	Delta       string `json:"delta"`
 	Tokens      int    `json:"tokens"`
 	Seed        uint64 `json:"seed"`
+	OverlaySeed uint64 `json:"overlay_seed"`
 	Queue       int    `json:"queue"`
 	OverlayK    int    `json:"overlay_k"`
 }
+
+// drainTimeout bounds a graceful drain, whether triggered by a signal or by
+// the ops endpoint's POST /drain.
+const drainTimeout = 5 * time.Second
 
 func defaultOptions() nodeOptions {
 	return nodeOptions{
@@ -73,7 +78,8 @@ func defineFlags(fs *flag.FlagSet, o *nodeOptions) *string {
 	fs.IntVar(&o.ClusterSize, "cluster-size", o.ClusterSize, "total nodes in the deployment (default: peers+1)")
 	fs.StringVar(&o.Delta, "delta", o.Delta, "proactive period Δ (Go duration)")
 	fs.IntVar(&o.Tokens, "tokens", o.Tokens, "initial token balance")
-	fs.Uint64Var(&o.Seed, "seed", o.Seed, "random seed (0 derives a process-unique seed)")
+	fs.Uint64Var(&o.Seed, "seed", o.Seed, "this node's random seed (0 derives a process-unique seed)")
+	fs.Uint64Var(&o.OverlaySeed, "overlay-seed", o.OverlaySeed, "deployment-wide overlay construction seed; MUST be identical on every node of the cluster")
 	fs.IntVar(&o.Queue, "queue", o.Queue, "incoming message queue bound (0 = default)")
 	fs.IntVar(&o.OverlayK, "overlay-k", o.OverlayK, "overlay out-degree for app construction (0 = min(default, cluster-1))")
 	return configPath
@@ -124,6 +130,9 @@ func loadConfigFile(path string, o *nodeOptions, set map[string]bool) error {
 	if set["seed"] {
 		o.Seed = keep.Seed
 	}
+	if set["overlay-seed"] {
+		o.OverlaySeed = keep.OverlaySeed
+	}
 	if set["queue"] {
 		o.Queue = keep.Queue
 	}
@@ -166,7 +175,11 @@ func parsePeers(s string) ([]live.PeerAddr, error) {
 // registry and instantiates this node's application. The driver's run is
 // built over the whole cluster (NewApp's contract is one call per node in
 // node order), and the instance of the daemon's own slot is kept.
-func buildApplication(spec string, clusterSize int, node int64, seed uint64, overlayK int) (protocol.Application, error) {
+//
+// overlaySeed must be the deployment-wide -overlay-seed, NOT the node's own
+// -seed: every node rebuilds the same overlay graph locally, so a per-node
+// seed would give each process a different neighbor structure.
+func buildApplication(spec string, clusterSize int, node int64, overlaySeed uint64, overlayK int) (protocol.Application, error) {
 	driver, err := experiment.ParseApplication(spec)
 	if err != nil {
 		return nil, err
@@ -181,7 +194,7 @@ func buildApplication(spec string, clusterSize int, node int64, seed uint64, ove
 		}
 	}
 	cfg := experiment.Config{App: driver, N: clusterSize, OverlayK: overlayK}.WithDefaults()
-	graph, err := driver.BuildOverlay(cfg, seed)
+	graph, err := driver.BuildOverlay(cfg, overlaySeed)
 	if err != nil {
 		return nil, fmt.Errorf("application %s: overlay: %w", spec, err)
 	}
@@ -224,7 +237,7 @@ func buildDaemon(o nodeOptions) (*live.Daemon, error) {
 	if err != nil {
 		return nil, err
 	}
-	app, err := buildApplication(o.App, clusterSize, o.ID, o.Seed, o.OverlayK)
+	app, err := buildApplication(o.App, clusterSize, o.ID, o.OverlaySeed, o.OverlayK)
 	if err != nil {
 		return nil, err
 	}
@@ -284,7 +297,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintln(stdout)
 
 	<-ctx.Done()
-	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	d.Drain(drainCtx)
 	if httpSrv != nil {

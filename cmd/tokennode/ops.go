@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -57,7 +58,11 @@ func newOpsMux(d *live.Daemon, stop func()) *http.ServeMux {
 		w.WriteHeader(http.StatusAccepted)
 		fmt.Fprintln(w, "draining")
 		go func() {
-			d.Drain(r.Context())
+			// Not r.Context(): net/http cancels it the moment the handler
+			// returns, which would void the drain's queue-flush wait.
+			ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+			defer cancel()
+			d.Drain(ctx)
 			if stop != nil {
 				stop()
 			}

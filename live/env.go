@@ -235,6 +235,17 @@ func (e *Env) At(t float64, fn func()) {
 	if now := e.Now(); t < now || t != t {
 		t = now
 	}
+	e.scheduleAt(t, fn)
+}
+
+// scheduleAt pushes an event at exactly t, even if t already lies in the
+// past: a past event is immediately due and fires in nominal order. Every
+// uses it for re-arms so a periodic chain that fell behind the wall clock
+// still executes every tick within the horizon — most importantly during
+// Run's deadline drain, where an At-clamped re-arm would land past the
+// horizon and silently drop the final on-grid metric sample, making the
+// sample count load-dependent instead of runtime-neutral.
+func (e *Env) scheduleAt(t float64, fn func()) {
 	e.mu.Lock()
 	e.seq++
 	e.events.push(timedEvent{time: t, seq: e.seq, fn: fn})
@@ -272,10 +283,10 @@ func (e *Env) Every(phase, interval float64, fn func() bool) {
 	tick = func() {
 		if fn() {
 			next += interval
-			e.At(next, tick)
+			e.scheduleAt(next, tick)
 		}
 	}
-	e.At(next, tick)
+	e.scheduleAt(next, tick)
 }
 
 // Rand implements runtime.Env: stream s is a SplitMix64 generator seeded
@@ -464,9 +475,13 @@ func (e *Env) Run(until float64) error {
 			// The wall deadline has passed, so every event still pending
 			// within the horizon is due by definition — most importantly the
 			// final metric sample scheduled at exactly the horizon, which
-			// must not lose a race against the deadline check. Callbacks
-			// executed here cannot re-arm within the horizon: At clamps new
-			// events to the current run time, which is already past it.
+			// must not lose a race against the deadline check. Periodic
+			// re-arms land at their nominal times (scheduleAt, no clamping),
+			// so a chain that fell behind replays its remaining in-horizon
+			// ticks right here; each re-arm advances by a positive interval,
+			// so every chain leaves the horizon and the drain terminates.
+			// One-shot At callbacks cannot re-arm within the horizon: At
+			// clamps new events to the current run time, already past it.
 			for {
 				fn, ok := e.popDue(until, until)
 				if !ok {

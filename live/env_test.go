@@ -338,3 +338,32 @@ func TestHostOverLiveEnv(t *testing.T) {
 		t.Logf("run loop dropped %d deliveries (acceptable under load)", env.DroppedDeliveries())
 	}
 }
+
+// TestEnvEveryFiresAllTicksUnderStall is the regression test for the dropped
+// final metric sample: with an extreme time compression the wall deadline
+// passes before the run loop executes a single event, so every periodic tick
+// within the horizon must fire in Run's deadline drain. Every used to re-arm
+// through At, whose past-time clamp pushed the next tick beyond the horizon
+// the moment the deadline had passed — a periodic chain that fell behind
+// (a stalled CI machine) lost its tail and the sampling grid silently
+// shrank relative to the simulated runtime's.
+func TestEnvEveryFiresAllTicksUnderStall(t *testing.T) {
+	env, err := live.NewEnv(live.EnvConfig{N: 2, TimeScale: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	var ticks []float64
+	next := 1.0
+	env.Every(1, 1, func() bool {
+		ticks = append(ticks, next)
+		next++
+		return true
+	})
+	if err := env.Run(8); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 8 {
+		t.Fatalf("got %d periodic ticks within the horizon, want 8 (%v)", len(ticks), ticks)
+	}
+}

@@ -303,3 +303,52 @@ func TestTCPRemovePeer(t *testing.T) {
 		t.Fatalf("Peers() after remove = %d entries, want 0", n)
 	}
 }
+
+// TestTCPAddPeerSendNoDeadlock is the regression test for the ABBA deadlock
+// between AddPeer and the first send to a peer: AddPeer used to call setAddr
+// (l.mu) while holding e.mu, and ensureStarted acquires e.mu while holding
+// l.mu, so a join announcement re-registering an already-known peer racing
+// the first frame enqueued to that peer could wedge the endpoint. Each
+// iteration recreates the window — a fresh, never-started link re-registered
+// concurrently with a send — and the watchdog fails instead of hanging CI.
+func TestTCPAddPeerSendNoDeadlock(t *testing.T) {
+	registry := NewRegistry()
+	Register[testPayload](registry, "test")
+
+	a, err := NewTCPEndpoint(1, "127.0.0.1:0", registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTCPEndpoint(2, "127.0.0.1:0", registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			id := protocol.NodeID(10 + i)
+			a.AddPeer(id, b.Addr())
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				a.AddPeer(id, b.Addr()) // re-register: the e.mu side
+			}()
+			go func() {
+				defer wg.Done()
+				_ = a.Send(id, testPayload{Value: i}) // first send: the l.mu side
+			}()
+			wg.Wait()
+			_ = a.Stats() // Stats also needs e.mu; it must stay reachable
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("AddPeer racing Send deadlocked the endpoint")
+	}
+	a.Close()
+	b.Close()
+}

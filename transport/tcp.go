@@ -174,17 +174,25 @@ func (e *TCPEndpoint) Stats() Stats {
 // AddPeer registers (or re-registers) the address of a peer node so that Send
 // can reach it. Re-registering an existing peer updates its address; the next
 // dial uses it.
+//
+// An existing link's address is updated after e.mu is released: setAddr takes
+// l.mu, and ensureStarted acquires e.mu while holding l.mu, so taking l.mu
+// under e.mu here would be an ABBA deadlock against a concurrent send. The
+// lock order is l.mu → e.mu throughout.
 func (e *TCPEndpoint) AddPeer(id protocol.NodeID, addr string) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
+		e.mu.Unlock()
 		return
 	}
-	if l, ok := e.links[id]; ok {
+	l, ok := e.links[id]
+	if !ok {
+		e.links[id] = newPeerLink(e, id, addr)
+	}
+	e.mu.Unlock()
+	if ok {
 		l.setAddr(addr)
-		return
 	}
-	e.links[id] = newPeerLink(e, id, addr)
 }
 
 // RemovePeer forgets a peer: its queued frames are discarded, its connection
